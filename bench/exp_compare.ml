@@ -1,0 +1,108 @@
+(* Experiment "compare": cross-method comparison backing the paper's
+   qualitative claims (Sections 1, 2, 7):
+
+   - blitzsplit searches the complete bushy space with Cartesian
+     products at times competitive with restricted searches;
+   - excluding Cartesian products or confining search to left-deep vines
+     can hurt plan quality (cost ratio > 1);
+   - the size-driven enumerator (Starburst-style) inspects ~4^n pairs
+     where blitzsplit iterates ~3^n times;
+   - stochastic methods approach but do not reliably reach the optimum
+     in comparable time.
+
+   Costs are reported as ratios to the blitzsplit optimum (1.000 =
+   optimal). *)
+
+module Workload = Blitz_workload.Workload
+module Topology = Blitz_graph.Topology
+module Cost_model = Blitz_cost.Cost_model
+module Blitzsplit = Blitz_core.Blitzsplit
+module B = Blitz_baselines
+module Hybrid = Blitz_hybrid.Hybrid
+module Rng = Blitz_util.Rng
+
+type method_result = { name : string; seconds : float; cost : float; note : string }
+
+let evaluate ~n model catalog graph =
+  let optimum = ref Float.infinity in
+  let timed name ?(note = "") f =
+    let cost = ref Float.infinity in
+    let seconds = Bench_config.time (fun () -> cost := f ()) in
+    { name; seconds; cost = !cost; note }
+  in
+  let blitz =
+    timed "blitzsplit (bushy+products)" (fun () ->
+        Blitzsplit.best_cost (Blitzsplit.optimize_join model catalog graph))
+  in
+  optimum := blitz.cost;
+  let dpsize_pairs = ref 0 in
+  let results =
+    [
+      blitz;
+      timed "dpsize (bushy+products)"
+        (fun () ->
+          let r = B.Dpsize.optimize ~cartesian:true model catalog graph in
+          dpsize_pairs := r.B.Dpsize.pairs_considered;
+          r.B.Dpsize.cost)
+        ~note:"Starburst-style enumerator";
+      timed "dpsize (no products)" (fun () ->
+          (B.Dpsize.optimize ~cartesian:false model catalog graph).B.Dpsize.cost);
+      timed "left-deep DP (products)" (fun () ->
+          (B.Leftdeep.optimize ~policy:B.Leftdeep.Allowed model catalog graph).B.Leftdeep.cost);
+      timed "left-deep DP (deferred)" (fun () ->
+          (B.Leftdeep.optimize ~policy:B.Leftdeep.Deferred model catalog graph).B.Leftdeep.cost);
+      timed "greedy (min card)" (fun () -> snd (B.Greedy.optimize model catalog graph));
+      timed "iterative improvement" (fun () ->
+          let rng = Rng.create ~seed:1234 in
+          snd (fst (B.Iterative_improvement.optimize ~rng ~restarts:5 model catalog graph)));
+      timed "simulated annealing" (fun () ->
+          let rng = Rng.create ~seed:1234 in
+          snd (fst (B.Simulated_annealing.optimize ~rng model catalog graph)));
+      timed "random probing" (fun () ->
+          let rng = Rng.create ~seed:1234 in
+          snd (B.Random_probe.optimize ~rng ~samples:(200 * n) model catalog graph));
+      timed "volcano (rule-based memo)" (fun () ->
+          fst (B.Volcano.optimize model catalog graph) |> snd)
+        ~note:"commute+associate to closure";
+      timed "hybrid (DP windows + kicks)" (fun () ->
+          let rng = Rng.create ~seed:1234 in
+          snd (fst (Hybrid.optimize ~rng ~window:(min 8 n) ~kicks:n model catalog graph)));
+    ]
+  in
+  (results, !optimum, !dpsize_pairs)
+
+let run () =
+  Bench_config.header "Method comparison (Sections 1/2/7 qualitative claims)";
+  let ns = if Bench_config.fast then [ 8 ] else [ 8; 12 ] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun topology ->
+          let model = Cost_model.kdnl in
+          let spec =
+            Workload.spec ~n ~topology ~model ~mean_card:100.0 ~variability:0.5
+          in
+          let catalog, graph = Workload.problem spec in
+          Printf.printf "\n-- n = %d, topology %s, model %s, mu = 100, v = 0.5 --\n" n
+            (Topology.name topology) model.Cost_model.name;
+          let results, optimum, pairs = evaluate ~n model catalog graph in
+          let rows =
+            List.map
+              (fun r ->
+                [|
+                  r.name;
+                  Bench_config.seconds r.seconds;
+                  (if Float.is_finite r.cost then Printf.sprintf "%.4f" (r.cost /. optimum)
+                   else "no plan");
+                  r.note;
+                |])
+              results
+          in
+          Blitz_util.Ascii_table.print
+            ~header:[| "method"; "time (s)"; "cost / optimal"; "note" |]
+            (Array.of_list rows);
+          Printf.printf "dpsize pairs considered: %d vs blitzsplit split-loop iterations: %d\n"
+            pairs
+            (Blitz_core.Counters.exact_loop_iters n))
+        [ Topology.Chain; Topology.Star; Topology.Clique ])
+    ns

@@ -1,0 +1,61 @@
+(* Experiment "fig4": the 4-dimensional performance-sensitivity grid of
+   Figure 4 — optimization time over
+
+     {kappa_0, kappa_sm, kappa_dnl} x {chain, cycle+3, star, clique}
+       x mean cardinality (log axis) x variability,
+
+   at n = 15 (configurable).  The paper renders 12 surface plots; we
+   print the 12 corresponding tables (rows: mean cardinality, columns:
+   variability).
+
+   Expected shape ("chaise longue", Section 6.2): times are highest at
+   mean cardinality 1, drop and flatten as cardinality grows; cliques
+   and stars cost more than chains; kappa_dnl more than kappa_0; the
+   differences shrink as cardinality (and, for cliques, variability)
+   rises. *)
+
+module Workload = Blitz_workload.Workload
+module Topology = Blitz_graph.Topology
+module Cost_model = Blitz_cost.Cost_model
+module Blitzsplit = Blitz_core.Blitzsplit
+
+let time_cell spec =
+  let catalog, graph = Workload.problem spec in
+  Bench_config.time (fun () ->
+      ignore (Blitzsplit.optimize_join spec.Workload.model catalog graph))
+
+let print_cell_table ~n model topology mean_cards variabilities =
+  Printf.printf "\n-- model %s, topology %s (n = %d; seconds) --\n"
+    model.Cost_model.name (Topology.name topology) n;
+  let header =
+    Array.append [| "mean card \\ v" |]
+      (Array.map (fun v -> Printf.sprintf "v=%.2f" v) variabilities)
+  in
+  let rows =
+    Array.map
+      (fun mu ->
+        Array.append
+          [| Printf.sprintf "%.4g" mu |]
+          (Array.map
+             (fun v ->
+               let spec =
+                 Workload.spec ~n ~topology ~model ~mean_card:mu ~variability:v
+               in
+               Bench_config.seconds (time_cell spec))
+             variabilities))
+      mean_cards
+  in
+  Blitz_util.Ascii_table.print ~header rows
+
+let run () =
+  let n = Bench_config.n in
+  Bench_config.header
+    (Printf.sprintf "Figure 4: 4-D sensitivity grid at n = %d (3 models x 4 topologies)" n);
+  List.iter
+    (fun model ->
+      List.iter
+        (fun topology ->
+          print_cell_table ~n model topology Bench_config.mean_cards_fig4
+            Bench_config.variabilities)
+        Topology.all_paper)
+    Cost_model.all_paper

@@ -1,0 +1,47 @@
+(* Experiment "fig5": close-ups of two Figure 4 cells with the extended
+   mean-cardinality axis (to 10^6) — (a) kappa_0 x chain and
+   (b) kappa_dnl x cycle+3.
+
+   Expected shape: (a) settles around the Cartesian-product-optimizer
+   time once cardinality leaves 1; (b) is slower overall and more
+   sensitive at low cardinalities. *)
+
+module Workload = Blitz_workload.Workload
+module Topology = Blitz_graph.Topology
+module Cost_model = Blitz_cost.Cost_model
+module Blitzsplit = Blitz_core.Blitzsplit
+
+let cells =
+  [
+    ("(a)", Cost_model.naive, Topology.Chain);
+    ("(b)", Cost_model.kdnl, Topology.Cycle_plus 3);
+  ]
+
+let run () =
+  let n = Bench_config.n in
+  Bench_config.header (Printf.sprintf "Figure 5: close-ups at n = %d" n);
+  List.iter
+    (fun (label, model, topology) ->
+      Printf.printf "\n-- %s model %s, topology %s (seconds) --\n" label
+        model.Cost_model.name (Topology.name topology);
+      let header =
+        Array.append [| "mean card \\ v" |]
+          (Array.map (fun v -> Printf.sprintf "v=%.2f" v) Bench_config.variabilities)
+      in
+      let rows =
+        Array.map
+          (fun mu ->
+            Array.append
+              [| Printf.sprintf "%.4g" mu |]
+              (Array.map
+                 (fun v ->
+                   let spec = Workload.spec ~n ~topology ~model ~mean_card:mu ~variability:v in
+                   let catalog, graph = Workload.problem spec in
+                   Bench_config.seconds
+                     (Bench_config.time (fun () ->
+                          ignore (Blitzsplit.optimize_join model catalog graph))))
+                 Bench_config.variabilities))
+          Bench_config.mean_cards_fig5
+      in
+      Blitz_util.Ascii_table.print ~header rows)
+    cells

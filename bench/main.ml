@@ -1,0 +1,41 @@
+(* Benchmark harness entry point.
+
+   Usage:  dune exec bench/main.exe [--] [experiment ...]
+   Experiments: table1 fig2 fig4 fig5 fig6 counts compare bechamel all
+   (default: all).  Environment: BLITZ_BENCH_N, BLITZ_BENCH_FAST (see
+   bench_config.ml).  EXPERIMENTS.md records paper-vs-measured for each
+   experiment. *)
+
+let experiments =
+  [
+    ("table1", Exp_table1.run);
+    ("fig2", Exp_fig2.run);
+    ("fig4", Exp_fig4.run);
+    ("fig5", Exp_fig5.run);
+    ("fig6", Exp_fig6.run);
+    ("counts", Exp_counts.run);
+    ("compare", Exp_compare.run);
+    ("ablation", Exp_ablation.run);
+    ("models", Exp_models.run);
+    ("bechamel", Bechamel_suite.run);
+  ]
+
+let usage () =
+  Printf.eprintf "usage: bench [experiment ...]\navailable: %s all\n"
+    (String.concat " " (List.map fst experiments));
+  exit 2
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--")
+  in
+  let selected =
+    match args with
+    | [] | [ "all" ] -> List.map fst experiments
+    | names ->
+      List.iter (fun name -> if not (List.mem_assoc name experiments) then usage ()) names;
+      names
+  in
+  Printf.printf "blitz bench: n = %d%s\n" Bench_config.n
+    (if Bench_config.fast then " (fast mode)" else "");
+  List.iter (fun name -> (List.assoc name experiments) ()) selected

@@ -1,0 +1,398 @@
+(* blitz — command-line front end for the blitzsplit join-order optimizer.
+
+   Subcommands:
+     optimize   optimize a query (from a SQL script or workload flags)
+     compare    run every optimizer in the repository on one query
+     workload   emit an appendix-style benchmark workload as a SQL script
+     counters   show instrumentation counters for one optimization
+
+   Examples:
+     blitz optimize --sql query.sql --model kdnl --annotate
+     blitz optimize -n 12 --topology star --mean-card 1000 --dump-table
+     blitz optimize --sql query.sql --execute --seed 42
+     blitz compare -n 10 --topology clique --model kdnl
+     blitz workload -n 15 --topology cycle+3 --mean-card 100 --variability 0.33 *)
+
+open Cmdliner
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Topology = Blitz_graph.Topology
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Blitzsplit = Blitz_core.Blitzsplit
+module Threshold = Blitz_core.Threshold
+module Counters = Blitz_core.Counters
+module Dp_table = Blitz_core.Dp_table
+module Workload = Blitz_workload.Workload
+module Binder = Blitz_sql.Binder
+module B = Blitz_baselines
+module Hybrid = Blitz_hybrid.Hybrid
+module Rng = Blitz_util.Rng
+
+(* ---- shared converters ---- *)
+
+let model_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Cost_model.of_string s) in
+  let print ppf (m : Cost_model.t) = Format.pp_print_string ppf m.Cost_model.name in
+  Arg.conv (parse, print)
+
+let topology_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Topology.of_string s) in
+  let print ppf t = Format.pp_print_string ppf (Topology.name t) in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Cost_model.kdnl
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Cost model: k0, ksm, kdnl, or min:A,B.")
+
+(* ---- problem acquisition: SQL script or workload flags ---- *)
+
+let sql_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sql" ] ~docv:"FILE" ~doc:"SQL script to optimize ('-' reads standard input).")
+
+let n_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n" ] ~docv:"N" ~doc:"Number of relations for a generated workload.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv Topology.Chain
+    & info [ "t"; "topology" ] ~docv:"TOPOLOGY"
+        ~doc:"Join-graph topology for a generated workload: chain, cycle+K, star, clique, grid:RxC.")
+
+let mean_card_arg =
+  Arg.(
+    value
+    & opt float 100.0
+    & info [ "mean-card" ] ~docv:"MU" ~doc:"Geometric-mean base-relation cardinality.")
+
+let variability_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "variability" ] ~docv:"V" ~doc:"Cardinality variability in [0, 1].")
+
+let read_file path =
+  if path = "-" then In_channel.input_all stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+type problem = {
+  catalog : Catalog.t;
+  graph : Join_graph.t;
+  label : string;
+  required_order : int option;  (** From the SQL ORDER BY, when present. *)
+}
+
+let acquire_problem sql n topology mean_card variability =
+  match (sql, n) with
+  | Some _, Some _ -> Error "--sql and -n are mutually exclusive"
+  | Some path, None -> (
+    match Binder.parse_and_bind (read_file path) with
+    | Error e -> Error e
+    | Ok [] -> Error "the script contains no SELECT statement"
+    | Ok (q :: rest) ->
+      if rest <> [] then
+        Printf.eprintf "note: script has %d queries; optimizing the first\n" (List.length rest + 1);
+      Ok
+        {
+          catalog = q.Binder.catalog;
+          graph = q.Binder.graph;
+          label = path;
+          required_order = q.Binder.required_order;
+        })
+  | None, Some n -> (
+    match
+      Workload.spec ~n ~topology ~model:Cost_model.naive ~mean_card ~variability
+    with
+    | spec ->
+      let catalog, graph = Workload.problem spec in
+      Ok { catalog; graph; label = Workload.describe spec; required_order = None }
+    | exception Invalid_argument msg -> Error msg)
+  | None, None -> Error "provide either --sql FILE or -n N (see --help)"
+
+let problem_term =
+  let combine sql n topology mean_card variability =
+    match acquire_problem sql n topology mean_card variability with
+    | Ok p -> `Ok p
+    | Error msg -> `Error (false, msg)
+  in
+  Term.(
+    ret (const combine $ sql_arg $ n_arg $ topology_arg $ mean_card_arg $ variability_arg))
+
+(* ---- optimize ---- *)
+
+let optimize_cmd =
+  let threshold_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"COST"
+          ~doc:"Plan-cost threshold (Section 6.4); re-optimizes with a raised threshold on failure.")
+  in
+  let growth_arg =
+    Arg.(
+      value
+      & opt float 1e4
+      & info [ "growth" ] ~docv:"FACTOR" ~doc:"Threshold growth factor between passes.")
+  in
+  let dump_table_arg =
+    Arg.(value & flag & info [ "dump-table" ] ~doc:"Print the full DP table (small queries only).")
+  in
+  let annotate_arg =
+    Arg.(
+      value & flag
+      & info [ "annotate" ] ~doc:"Attach the cheapest join algorithm to each node (Section 6.5).")
+  in
+  let execute_arg =
+    Arg.(
+      value & flag
+      & info [ "execute" ]
+          ~doc:"Generate synthetic data realizing the statistics, run the plan, and compare \
+                estimated vs. actual cardinalities.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Data-generation seed.")
+  in
+  let hybrid_arg =
+    Arg.(
+      value & flag
+      & info [ "hybrid" ]
+          ~doc:"Use the Section 7 hybrid (DP windows inside randomized search) instead of                 exhaustive blitzsplit — required beyond the 24-relation DP-table cap, useful                 sooner.")
+  in
+  let physical_arg =
+    Arg.(
+      value & flag
+      & info [ "physical" ]
+          ~doc:"Optimize with interesting sort orders (Section 6.5 extension): print a                 physical plan with sorts, merge joins and nested loops.  Honors the                 query's ORDER BY.")
+  in
+  let run problem model threshold growth dump_table annotate execute seed physical hybrid =
+    let names = Catalog.names problem.catalog in
+    if hybrid then begin
+      let rng = Rng.create ~seed in
+      let t0 = Sys.time () in
+      let (plan, cost), stats = Hybrid.optimize ~rng model problem.catalog problem.graph in
+      Printf.printf "query:      %s\n" problem.label;
+      Printf.printf "model:      %s (hybrid search)\n" model.Cost_model.name;
+      Printf.printf "plan:       %s\n" (Plan.to_compact_string ~names plan);
+      Printf.printf "cost:       %g (not guaranteed optimal)\n" cost;
+      Printf.printf "time:       %.4fs (%d windows re-optimized, %d improved, %d kicks)\n"
+        (Sys.time () -. t0)
+        stats.Hybrid.windows_reoptimized stats.Hybrid.windows_improved stats.Hybrid.kicks
+    end
+    else
+    if physical then begin
+      let module O = Blitz_core.Blitzsplit_orders in
+      let r = O.optimize ?required_order:problem.required_order problem.catalog problem.graph in
+      let rec render = function
+        | O.Scan i -> names.(i)
+        | O.Sort (p, e) -> Printf.sprintf "sort[e%d](%s)" e (render p)
+        | O.Nested_loop (l, r) -> Printf.sprintf "NL(%s, %s)" (render l) (render r)
+        | O.Merge_join (l, r, e) -> Printf.sprintf "MERGE[e%d](%s, %s)" e (render l) (render r)
+      in
+      Printf.printf "query:      %s\n" problem.label;
+      Printf.printf "physical:   %s\n" (render r.O.plan);
+      Printf.printf "cost:       %g\n" r.O.cost;
+      Printf.printf "order:      %s\n"
+        (match O.order_of r.O.plan with
+        | Some e -> Printf.sprintf "sorted on edge %d" e
+        | None -> "none");
+      Printf.printf "order-blind: %g (min(ksm, kdnl), no reuse)\n"
+        (O.sm_dnl_reference_cost problem.catalog problem.graph)
+    end
+    else begin
+    if Catalog.n problem.catalog > Dp_table.max_relations then begin
+      Printf.eprintf
+        "blitz: %d relations exceed the %d-relation DP table; use --hybrid for large queries\n"
+        (Catalog.n problem.catalog) Dp_table.max_relations;
+      exit 1
+    end;
+    let t0 = Sys.time () in
+    let result, passes =
+      match threshold with
+      | None -> (Blitzsplit.optimize_join model problem.catalog problem.graph, 1)
+      | Some t ->
+        let outcome = Threshold.optimize_join ~growth ~threshold:t model problem.catalog problem.graph in
+        (outcome.Threshold.result, outcome.Threshold.passes)
+    in
+    let elapsed = Sys.time () -. t0 in
+    Printf.printf "query:      %s\n" problem.label;
+    Printf.printf "model:      %s\n" model.Cost_model.name;
+    let plan = Blitzsplit.best_plan_exn result in
+    Printf.printf "plan:       %s\n" (Plan.to_compact_string ~names plan);
+    Printf.printf "cost:       %g\n" (Blitzsplit.best_cost result);
+    Printf.printf "cardinality:%g\n" (Plan.cardinality problem.catalog problem.graph plan);
+    Printf.printf "shape:      %s, %d cartesian product(s)\n"
+      (if Plan.is_left_deep plan then "left-deep" else "bushy")
+      (Plan.cartesian_join_count problem.graph plan);
+    Printf.printf "time:       %.4fs (%d pass(es))\n" elapsed passes;
+    if dump_table then begin
+      print_newline ();
+      print_string (Dp_table.dump ~names result.Blitzsplit.table)
+    end;
+    if annotate then begin
+      print_newline ();
+      let annotated =
+        Plan.annotate
+          ~algorithms:[ ("sort-merge", Cost_model.sort_merge); ("nested-loops", Cost_model.kdnl) ]
+          problem.catalog problem.graph plan
+      in
+      Format.printf "%a@." (Plan.pp_annotated ~names ()) annotated
+    end;
+    if execute then begin
+      print_newline ();
+      let module Datagen = Blitz_exec.Datagen in
+      let module Executor = Blitz_exec.Executor in
+      let rng = Rng.create ~seed in
+      match Datagen.generate ~rng problem.catalog problem.graph with
+      | exception Invalid_argument msg -> Printf.printf "cannot execute: %s\n" msg
+      | data ->
+        let comparisons = Executor.estimate_vs_actual data plan in
+        Printf.printf "%-24s %14s %14s %8s\n" "intermediate" "estimated" "actual" "ratio";
+        List.iter
+          (fun { Executor.at; estimated; actual } ->
+            Printf.printf "%-24s %14.1f %14.0f %8.3f\n"
+              (Blitz_bitset.Relset.to_string ~names at)
+              estimated actual
+              (if estimated > 0.0 then actual /. estimated else Float.nan))
+          comparisons
+    end
+    end
+  in
+  let term =
+    Term.(
+      const run $ problem_term $ model_arg $ threshold_arg $ growth_arg $ dump_table_arg
+      $ annotate_arg $ execute_arg $ seed_arg $ physical_arg $ hybrid_arg)
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize a join query with the blitzsplit algorithm")
+    term
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let run problem model =
+    let optimum =
+      Blitzsplit.best_cost (Blitzsplit.optimize_join model problem.catalog problem.graph)
+    in
+    let timed name f =
+      let t0 = Sys.time () in
+      let cost = f () in
+      let dt = Sys.time () -. t0 in
+      [|
+        name;
+        Printf.sprintf "%.4f" dt;
+        (if Float.is_finite cost then Printf.sprintf "%.4f" (cost /. optimum) else "no plan");
+      |]
+    in
+    let rows =
+      [
+        timed "blitzsplit (bushy+products)" (fun () ->
+            Blitzsplit.best_cost (Blitzsplit.optimize_join model problem.catalog problem.graph));
+        timed "dpsize (no products)" (fun () ->
+            (B.Dpsize.optimize ~cartesian:false model problem.catalog problem.graph).B.Dpsize.cost);
+        timed "left-deep DP (products)" (fun () ->
+            (B.Leftdeep.optimize model problem.catalog problem.graph).B.Leftdeep.cost);
+        timed "greedy (min card)" (fun () ->
+            snd (B.Greedy.optimize model problem.catalog problem.graph));
+        timed "iterative improvement" (fun () ->
+            let rng = Rng.create ~seed:1 in
+            snd (fst (B.Iterative_improvement.optimize ~rng model problem.catalog problem.graph)));
+        timed "simulated annealing" (fun () ->
+            let rng = Rng.create ~seed:1 in
+            snd (fst (B.Simulated_annealing.optimize ~rng model problem.catalog problem.graph)));
+        timed "volcano (rule-based memo)" (fun () ->
+            snd (fst (B.Volcano.optimize model problem.catalog problem.graph)));
+        timed "hybrid (DP windows)" (fun () ->
+            let rng = Rng.create ~seed:1 in
+            snd (fst (Hybrid.optimize ~rng model problem.catalog problem.graph)));
+      ]
+    in
+    let rows =
+      if B.Ikkbz.is_tree problem.graph then
+        rows
+        @ [
+            timed "IKKBZ plan (re-costed)" (fun () ->
+                (* IKKBZ optimizes C_out; report its plan's cost under the
+                   session model for an honest ratio. *)
+                let r = B.Ikkbz.optimize problem.catalog problem.graph in
+                Plan.cost model problem.catalog problem.graph r.B.Ikkbz.plan);
+          ]
+      else rows
+    in
+    Printf.printf "query: %s   model: %s\n\n" problem.label model.Cost_model.name;
+    Blitz_util.Ascii_table.print
+      ~header:[| "method"; "time (s)"; "cost / optimal" |]
+      (Array.of_list rows)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every optimizer in the repository on one query")
+    Term.(const run $ problem_term $ model_arg)
+
+(* ---- workload ---- *)
+
+let workload_cmd =
+  let run n topology mean_card variability =
+    match Workload.spec ~n ~topology ~model:Cost_model.naive ~mean_card ~variability with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | spec ->
+      let catalog, graph = Workload.problem spec in
+      Printf.printf "-- %s\n" (Workload.describe spec);
+      for i = 0 to Catalog.n catalog - 1 do
+        Printf.printf "CREATE TABLE %s (CARDINALITY %.6g);\n" (Catalog.name catalog i)
+          (Catalog.card catalog i)
+      done;
+      let from =
+        String.concat ", " (Array.to_list (Catalog.names catalog))
+      in
+      Printf.printf "SELECT * FROM %s\n" from;
+      let edges = Join_graph.edges graph in
+      List.iteri
+        (fun i (a, b, sel) ->
+          Printf.printf "%s %s.key%d = %s.key%d {%.9g}\n"
+            (if i = 0 then "WHERE" else "  AND")
+            (Catalog.name catalog a) b (Catalog.name catalog b) a sel)
+        edges;
+      Printf.printf ";\n";
+      `Ok ()
+  in
+  let n_req =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Number of relations.")
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Emit an appendix-style benchmark workload as a SQL script (round-trips through \
+             'blitz optimize --sql')")
+    Term.(ret (const run $ n_req $ topology_arg $ mean_card_arg $ variability_arg))
+
+(* ---- counters ---- *)
+
+let counters_cmd =
+  let run problem model =
+    let counters = Counters.create () in
+    let _ = Blitzsplit.optimize_join ~counters model problem.catalog problem.graph in
+    let n = Catalog.n problem.catalog in
+    Printf.printf "query: %s   model: %s\n\n" problem.label model.Cost_model.name;
+    Format.printf "%a@." Counters.pp counters;
+    Printf.printf "\nanalytic bounds (Section 3.3): loop iters = %d, kappa'' in [%.0f, %.0f]\n"
+      (Counters.exact_loop_iters n)
+      (Counters.predicted_dprime_lower n)
+      (Counters.predicted_dprime_upper n)
+  in
+  Cmd.v
+    (Cmd.info "counters" ~doc:"Show split-loop instrumentation for one optimization")
+    Term.(const run $ problem_term $ model_arg)
+
+let main_cmd =
+  let doc = "bushy join-order optimization with Cartesian products (Vance & Maier, SIGMOD 1996)" in
+  Cmd.group (Cmd.info "blitz" ~version:"1.0.0" ~doc)
+    [ optimize_cmd; compare_cmd; workload_cmd; counters_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,57 @@
+(* Quickstart: optimize a five-way join in a dozen lines.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The API surface in play:
+   - Catalog.of_list        : base-relation cardinalities
+   - Join_graph.of_edges    : predicates with selectivities
+   - Blitzsplit.optimize_join : the paper's DP optimizer
+   - Plan.annotate          : attach the cheapest join algorithm per node *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Blitzsplit = Blitz_core.Blitzsplit
+module Plan = Blitz_plan.Plan
+
+let () =
+  (* A small order-processing query: customers, orders, lineitems,
+     parts, suppliers. *)
+  let catalog =
+    Catalog.of_list
+      [
+        ("customer", 15_000.0);
+        ("orders", 150_000.0);
+        ("lineitem", 600_000.0);
+        ("part", 20_000.0);
+        ("supplier", 1_000.0);
+      ]
+  in
+  let graph =
+    Join_graph.of_edges ~n:5
+      [
+        (0, 1, 1.0 /. 15_000.0) (* customer.ckey = orders.ckey *);
+        (1, 2, 1.0 /. 150_000.0) (* orders.okey = lineitem.okey *);
+        (2, 3, 1.0 /. 20_000.0) (* lineitem.pkey = part.pkey *);
+        (2, 4, 1.0 /. 1_000.0) (* lineitem.skey = supplier.skey *);
+      ]
+  in
+  let names = Catalog.names catalog in
+
+  (* Optimize under the disk-nested-loops cost model. *)
+  let result = Blitzsplit.optimize_join Cost_model.kdnl catalog graph in
+  let plan = Blitzsplit.best_plan_exn result in
+
+  Printf.printf "optimal bushy plan: %s\n" (Plan.to_compact_string ~names plan);
+  Printf.printf "estimated cost:     %g\n" (Blitzsplit.best_cost result);
+  Printf.printf "left-deep?          %b\n" (Plan.is_left_deep plan);
+  Printf.printf "cartesian products: %d\n\n" (Plan.cartesian_join_count graph plan);
+
+  (* Section 6.5: pick a physical join algorithm per node after the
+     fact, by costing each node under every available model. *)
+  let annotated =
+    Plan.annotate
+      ~algorithms:[ ("sort-merge", Cost_model.sort_merge); ("nested-loops", Cost_model.kdnl) ]
+      catalog graph plan
+  in
+  Format.printf "%a@." (Plan.pp_annotated ~names ()) annotated

@@ -1,0 +1,67 @@
+(* SQL round-trip: parse -> bind -> optimize -> execute -> validate.
+
+   Run with:  dune exec examples/sql_roundtrip.exe
+
+   Exercises the full pipeline: a SQL script is parsed and bound to a
+   catalog + join graph; blitzsplit picks a plan; synthetic data
+   realizing the declared statistics is generated; the plan is executed
+   with the mini engine; and the optimizer's intermediate-result
+   estimates are compared against what the operators actually
+   produced. *)
+
+module Binder = Blitz_sql.Binder
+module Cost_model = Blitz_cost.Cost_model
+module Blitzsplit = Blitz_core.Blitzsplit
+module Plan = Blitz_plan.Plan
+module Catalog = Blitz_catalog.Catalog
+module Datagen = Blitz_exec.Datagen
+module Executor = Blitz_exec.Executor
+module Relset = Blitz_bitset.Relset
+module Rng = Blitz_util.Rng
+
+let script =
+  "CREATE TABLE customer (CARDINALITY 2000);\n\
+   CREATE TABLE orders   (CARDINALITY 8000);\n\
+   CREATE TABLE lineitem (CARDINALITY 30000);\n\
+   CREATE TABLE part     (CARDINALITY 500);\n\
+   \n\
+   SELECT * FROM customer c, orders o, lineitem l, part p\n\
+   WHERE c.ckey = o.ckey\n\
+   \  AND o.okey = l.okey\n\
+   \  AND l.pkey = p.pkey;\n"
+
+let () =
+  print_endline "input script:";
+  print_endline script;
+  let query =
+    match Binder.parse_and_bind script with
+    | Ok [ q ] -> q
+    | Ok _ -> failwith "expected exactly one query"
+    | Error msg -> failwith msg
+  in
+  let catalog = query.Binder.catalog and graph = query.Binder.graph in
+  let names = Catalog.names catalog in
+
+  (* Generate data realizing the declared statistics, then re-bind the
+     optimizer to the *realized* statistics (integral domains). *)
+  let rng = Rng.create ~seed:2024 in
+  let data = Datagen.generate ~rng catalog graph in
+  let real_catalog = Datagen.realized_catalog data in
+  let real_graph = Datagen.realized_graph data in
+
+  let result = Blitzsplit.optimize_join Cost_model.kdnl real_catalog real_graph in
+  let plan = Blitzsplit.best_plan_exn result in
+  Printf.printf "optimal plan: %s (cost %.4g)\n\n"
+    (Plan.to_compact_string ~names plan)
+    (Blitzsplit.best_cost result);
+
+  let comparisons = Executor.estimate_vs_actual data plan in
+  Printf.printf "%-28s %14s %14s %8s\n" "intermediate result" "estimated" "actual" "ratio";
+  List.iter
+    (fun { Executor.at; estimated; actual } ->
+      Printf.printf "%-28s %14.1f %14.0f %8.3f\n"
+        (Relset.to_string ~names at)
+        estimated actual
+        (if estimated > 0.0 then actual /. estimated else Float.nan))
+    comparisons;
+  print_endline "\nratios near 1.0: the fan-recurrence estimates track the execution engine"

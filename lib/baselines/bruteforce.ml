@@ -1,0 +1,70 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Relset = Blitz_bitset.Relset
+
+let max_relations = 10
+
+let optimize_subset eval s =
+  let plans = Plan.enumerate s in
+  match plans with
+  | [] -> invalid_arg "Bruteforce.optimize_subset: empty set"
+  | first :: rest ->
+    List.fold_left
+      (fun (bp, bc) p ->
+        let c = Eval.cost eval p in
+        if c < bc then (p, c) else (bp, bc))
+      (first, Eval.cost eval first)
+      rest
+
+let check_size catalog =
+  let n = Catalog.n catalog in
+  if n > max_relations then
+    invalid_arg (Printf.sprintf "Bruteforce: %d relations exceed the cap of %d" n max_relations)
+
+let optimize model catalog graph =
+  check_size catalog;
+  let eval = Eval.make model catalog graph in
+  optimize_subset eval (Relset.full (Catalog.n catalog))
+
+let optimize_leftdeep model catalog graph =
+  check_size catalog;
+  let n = Catalog.n catalog in
+  let eval = Eval.make model catalog graph in
+  (* Enumerate leaf orders; build the corresponding left-deep vine. *)
+  let best_plan = ref None and best_cost = ref Float.infinity in
+  let order = Array.init n (fun i -> i) in
+  let vine () =
+    Array.fold_left
+      (fun acc i -> match acc with None -> Some (Plan.Leaf i) | Some p -> Some (Plan.Join (p, Plan.Leaf i)))
+      None order
+  in
+  let consider () =
+    match vine () with
+    | None -> ()
+    | Some p ->
+      let c = Eval.cost eval p in
+      if c < !best_cost then begin
+        best_cost := c;
+        best_plan := Some p
+      end
+  in
+  (* Heap's algorithm for permutations. *)
+  let rec permute k =
+    if k = 1 then consider ()
+    else
+      for i = 0 to k - 1 do
+        permute (k - 1);
+        let j = if k land 1 = 0 then i else 0 in
+        if i < k - 1 then begin
+          let tmp = order.(j) in
+          order.(j) <- order.(k - 1);
+          order.(k - 1) <- tmp
+        end
+      done
+  in
+  permute n;
+  match !best_plan with
+  | Some p -> (p, !best_cost)
+  | None -> invalid_arg "Bruteforce.optimize_leftdeep: empty catalog"

@@ -1,0 +1,110 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Relset = Blitz_bitset.Relset
+
+(* Neighborhood of a set, excluding the set itself and the forbidden
+   set x. *)
+let neighborhood graph s x =
+  let nb = Relset.fold (fun acc i -> Relset.union acc (Join_graph.neighbors graph i)) Relset.empty s in
+  Relset.diff nb (Relset.union s x)
+
+let iter_nonempty_subsets f s =
+  Relset.iter_proper_subsets f s;
+  if not (Relset.is_empty s) then f s
+
+(* EnumerateCsgRec: grow the connected set [s] by nonempty subsets of
+   its free neighborhood, emitting each enlargement, then recurse with
+   the whole neighborhood forbidden (so each connected set is produced
+   exactly once). *)
+let rec enumerate_csg_rec graph emit s x =
+  let n = neighborhood graph s x in
+  if not (Relset.is_empty n) then begin
+    iter_nonempty_subsets (fun s' -> emit (Relset.union s s')) n;
+    let x' = Relset.union x n in
+    iter_nonempty_subsets (fun s' -> enumerate_csg_rec graph emit (Relset.union s s') x') n
+  end
+
+(* EnumerateCsg: every connected subgraph, each exactly once.  B_i is
+   the prefix {0..i}; starting from the largest index with smaller
+   indexes forbidden canonicalizes the enumeration. *)
+let enumerate_csg graph emit =
+  let n = Join_graph.n graph in
+  for i = n - 1 downto 0 do
+    let s = Relset.singleton i in
+    emit s;
+    enumerate_csg_rec graph emit s (Relset.full (i + 1))
+  done
+
+(* EnumerateCmp: connected subgraphs of the complement that are
+   adjacent to s1 and canonically ordered (min element above min s1). *)
+let enumerate_cmp graph emit s1 =
+  let x = Relset.union (Relset.full (Relset.min_elt s1 + 1)) s1 in
+  let nb = neighborhood graph s1 x in
+  let members = List.rev (Relset.to_list nb) in
+  List.iter
+    (fun i ->
+      let s = Relset.singleton i in
+      emit s;
+      let bi = Relset.inter (Relset.full (i + 1)) nb in
+      enumerate_csg_rec graph emit s (Relset.union x bi))
+    members
+
+let iter_ccp graph f =
+  enumerate_csg graph (fun s1 -> enumerate_cmp graph (fun s2 -> f s1 s2) s1)
+
+let csg_count graph =
+  let count = ref 0 in
+  enumerate_csg graph (fun _ -> incr count);
+  !count
+
+let ccp_count graph =
+  let count = ref 0 in
+  iter_ccp graph (fun _ _ -> incr count);
+  !count
+
+type result = { plan : Plan.t option; cost : float; ccp_pairs : int }
+
+let optimize model catalog graph =
+  let n = Catalog.n catalog in
+  if Join_graph.n graph <> n then invalid_arg "Dpccp.optimize: graph/catalog size mismatch";
+  let card = Blitz_core.Card_table.compute catalog graph in
+  let slots = 1 lsl n in
+  let cost = Array.make slots Float.infinity in
+  let best_lhs = Array.make slots 0 in
+  for i = 0 to n - 1 do
+    cost.(1 lsl i) <- 0.0
+  done;
+  (* Collect pairs, then process smallest-combined-size first so both
+     components' optima exist when a pair is costed. *)
+  let pairs = ref [] and count = ref 0 in
+  iter_ccp graph (fun s1 s2 ->
+      incr count;
+      pairs := (Relset.cardinal s1 + Relset.cardinal s2, s1, s2) :: !pairs);
+  let ordered = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !pairs in
+  List.iter
+    (fun (_, s1, s2) ->
+      let s = Relset.union s1 s2 in
+      let c =
+        cost.(s1) +. cost.(s2)
+        +. Cost_model.kappa model ~out:card.(s) ~lcard:card.(s1) ~rcard:card.(s2)
+      in
+      if c < cost.(s) then begin
+        cost.(s) <- c;
+        best_lhs.(s) <- s1
+      end)
+    ordered;
+  let full = slots - 1 in
+  let rec extract s =
+    if Relset.is_singleton s then Plan.Leaf (Relset.min_elt s)
+    else begin
+      let l = best_lhs.(s) in
+      assert (l <> 0);
+      Plan.Join (extract l, extract (s lxor l))
+    end
+  in
+  if n = 1 then { plan = Some (Plan.Leaf 0); cost = 0.0; ccp_pairs = 0 }
+  else if Float.is_finite cost.(full) then
+    { plan = Some (extract full); cost = cost.(full); ccp_pairs = !count }
+  else { plan = None; cost = Float.infinity; ccp_pairs = !count }

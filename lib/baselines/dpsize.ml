@@ -1,0 +1,71 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Relset = Blitz_bitset.Relset
+
+type result = { plan : Plan.t option; cost : float; pairs_considered : int; joins_built : int }
+
+let optimize ?(cartesian = true) model catalog graph =
+  let n = Catalog.n catalog in
+  let card = Blitz_core.Card_table.compute catalog graph in
+  let slots = 1 lsl n in
+  let cost = Array.make slots Float.infinity in
+  let best_lhs = Array.make slots 0 in
+  for i = 0 to n - 1 do
+    cost.(1 lsl i) <- 0.0
+  done;
+  (* Bucket the subsets by size once. *)
+  let by_size = Array.make (n + 1) [] in
+  for size = 1 to n do
+    let bucket = ref [] in
+    Relset.iter_subsets_of_size ~n ~k:size (fun s -> bucket := s :: !bucket);
+    by_size.(size) <- List.rev !bucket
+  done;
+  let pairs = ref 0 and joins = ref 0 in
+  for m = 2 to n do
+    for k = 1 to m / 2 do
+      List.iter
+        (fun s1 ->
+          List.iter
+            (fun s2 ->
+              (* When k = m - k the same unordered pair shows up twice
+                 (once per orientation); keep s1 < s2 to halve it, as a
+                 real implementation would. *)
+              if k < m - k || s1 < s2 then begin
+                incr pairs;
+                if
+                  s1 land s2 = 0
+                  && Float.is_finite cost.(s1)
+                  && Float.is_finite cost.(s2)
+                  && (cartesian || Join_graph.crosses graph s1 s2)
+                then begin
+                  incr joins;
+                  let s = s1 lor s2 in
+                  let c =
+                    cost.(s1) +. cost.(s2)
+                    +. Cost_model.kappa model ~out:card.(s) ~lcard:card.(s1) ~rcard:card.(s2)
+                  in
+                  if c < cost.(s) then begin
+                    cost.(s) <- c;
+                    best_lhs.(s) <- s1
+                  end
+                end
+              end)
+            by_size.(m - k))
+        by_size.(k)
+    done
+  done;
+  let full = slots - 1 in
+  let rec extract s =
+    if Relset.is_singleton s then Plan.Leaf (Relset.min_elt s)
+    else begin
+      let l = best_lhs.(s) in
+      assert (l <> 0);
+      Plan.Join (extract l, extract (s lxor l))
+    end
+  in
+  if n = 1 then { plan = Some (Plan.Leaf 0); cost = 0.0; pairs_considered = 0; joins_built = 0 }
+  else if Float.is_finite cost.(full) then
+    { plan = Some (extract full); cost = cost.(full); pairs_considered = !pairs; joins_built = !joins }
+  else { plan = None; cost = Float.infinity; pairs_considered = !pairs; joins_built = !joins }

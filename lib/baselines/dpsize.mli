@@ -1,0 +1,29 @@
+(** Size-driven bushy dynamic programming (Ono & Lohman's Starburst
+    enumerator).
+
+    Builds plans for subsets of size [m] by pairing stored subsets of
+    sizes [k] and [m - k] and testing disjointness — the enumeration
+    strategy whose worst-case complexity is [O(4^n)] even though only
+    [O(3^n)] of the considered pairs are actually disjoint (Section 2 of
+    the paper).  Included as the baseline enumerator that blitzsplit's
+    integer-order subset walk improves upon: both find identical optima
+    when products are allowed, but this one inspects many useless pairs.
+
+    With [cartesian = false], pairs spanned by no predicate are skipped
+    (joins only), reproducing Starburst's default; disconnected queries
+    then have no plan. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+
+type result = {
+  plan : Plan.t option;
+  cost : float;
+  pairs_considered : int;  (** All (size-k, size-(m-k)) pairs inspected — the [O(4^n)] figure. *)
+  joins_built : int;  (** Pairs that were disjoint (and connected, if required) and got costed. *)
+}
+
+val optimize : ?cartesian:bool -> Cost_model.t -> Catalog.t -> Join_graph.t -> result
+(** [cartesian] defaults to [true]. *)

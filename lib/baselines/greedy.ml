@@ -1,0 +1,52 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+
+type strategy = Min_result_card | Min_cost_increase
+
+type component = { plan : Plan.t; set : int; card : float }
+
+(* Cardinalities are maintained incrementally via Equation (7):
+   card(a ∪ b) = card(a) * card(b) * pi_span(a, b) — no 2^n table, so
+   greedy scales to any number of relations. *)
+let optimize ?(strategy = Min_result_card) model catalog graph =
+  let n = Catalog.n catalog in
+  if Join_graph.n graph <> n then invalid_arg "Greedy.optimize: graph/catalog size mismatch";
+  let components =
+    ref
+      (List.init n (fun i ->
+           { plan = Plan.Leaf i; set = 1 lsl i; card = Catalog.card catalog i }))
+  in
+  let total_cost = ref 0.0 in
+  let merge_score a b =
+    let out = a.card *. b.card *. Join_graph.pi_span graph a.set b.set in
+    let join_cost = Cost_model.kappa model ~out ~lcard:a.card ~rcard:b.card in
+    let score = match strategy with Min_result_card -> out | Min_cost_increase -> join_cost in
+    (score, out, join_cost)
+  in
+  while List.length !components > 1 do
+    let best = ref None in
+    let rec scan = function
+      | [] | [ _ ] -> ()
+      | a :: rest ->
+        List.iter
+          (fun b ->
+            let score, out, join_cost = merge_score a b in
+            match !best with
+            | Some (s, _, _, _, _) when s <= score -> ()
+            | Some _ | None -> best := Some (score, a, b, out, join_cost))
+          rest;
+        scan rest
+    in
+    scan !components;
+    match !best with
+    | None -> assert false
+    | Some (_, a, b, out, join_cost) ->
+      total_cost := !total_cost +. join_cost;
+      let merged = { plan = Plan.Join (a.plan, b.plan); set = a.set lor b.set; card = out } in
+      components := merged :: List.filter (fun c -> c.set <> a.set && c.set <> b.set) !components
+  done;
+  match !components with
+  | [ c ] -> (c.plan, !total_cost)
+  | [] | _ :: _ -> assert false

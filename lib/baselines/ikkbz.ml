@@ -1,0 +1,87 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Plan = Blitz_plan.Plan
+module Relset = Blitz_bitset.Relset
+
+type result = { plan : Plan.t; order : int list; cost : float }
+
+let is_tree graph =
+  let n = Join_graph.n graph in
+  Join_graph.edge_count graph = n - 1 && Join_graph.is_connected graph
+
+(* A segment: one or more relations glued into a fixed subsequence, with
+   the ASI bookkeeping C (cost) and T (size factor):
+     C(s1 s2) = C(s1) + T(s1) C(s2),   T(s1 s2) = T(s1) T(s2). *)
+type seg = { rels : int list; c : float; t : float }
+
+let combine a b = { rels = a.rels @ b.rels; c = a.c +. (a.t *. b.c); t = a.t *. b.t }
+
+(* rank(s) = (T(s) - 1) / C(s); segments with C = 0 only arise for the
+   root, which never participates in rank comparisons. *)
+let rank s = (s.t -. 1.0) /. s.c
+
+(* Merge chains already sorted by ascending rank (precedence within each
+   chain is preserved because merging is stable per input). *)
+let rec merge_chains a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | x :: xs, y :: ys ->
+    if rank x <= rank y then x :: merge_chains xs (y :: ys) else y :: merge_chains (x :: xs) ys
+
+(* Normalization: the parent segment must precede the chain, so while
+   its rank exceeds the first chain element's, glue them ("contradictory
+   sequences", IK84). *)
+let rec absorb head = function
+  | [] -> [ head ]
+  | s :: rest -> if rank head > rank s then absorb (combine head s) rest else head :: s :: rest
+
+let optimize catalog graph =
+  let n = Catalog.n catalog in
+  if Join_graph.n graph <> n then invalid_arg "Ikkbz.optimize: graph/catalog size mismatch";
+  if not (is_tree graph) then
+    invalid_arg "Ikkbz.optimize: IKKBZ requires a tree join graph (acyclic and connected)";
+  if n = 1 then { plan = Plan.Leaf 0; order = [ 0 ]; cost = 0.0 }
+  else begin
+    (* Solve for one root; returns (order, C_out). *)
+    let solve root =
+      (* Bottom-up over the precedence tree: chain of the subtree at v,
+         v's own segment at the head. *)
+      let rec chain_of v parent =
+        let children =
+          Relset.fold
+            (fun acc u -> if u = parent then acc else chain_of u v :: acc)
+            []
+            (Join_graph.neighbors graph v)
+        in
+        let merged = List.fold_left merge_chains [] children in
+        let t = Join_graph.selectivity graph v parent *. Catalog.card catalog v in
+        let self = { rels = [ v ]; c = t; t } in
+        absorb self merged
+      in
+      let children =
+        Relset.fold (fun acc u -> chain_of u root :: acc) [] (Join_graph.neighbors graph root)
+      in
+      let merged = List.fold_left merge_chains [] children in
+      let root_seg = { rels = [ root ]; c = 0.0; t = Catalog.card catalog root } in
+      (* The root precedes everything by construction; no rank check. *)
+      let whole = List.fold_left combine root_seg merged in
+      (whole.rels, whole.c)
+    in
+    let best = ref None in
+    for root = 0 to n - 1 do
+      let order, cost = solve root in
+      match !best with
+      | Some (_, best_cost) when best_cost <= cost -> ()
+      | Some _ | None -> best := Some (order, cost)
+    done;
+    match !best with
+    | None -> assert false
+    | Some (order, cost) ->
+      let plan =
+        match order with
+        | [] -> assert false
+        | first :: rest ->
+          List.fold_left (fun acc r -> Plan.Join (acc, Plan.Leaf r)) (Plan.Leaf first) rest
+      in
+      { plan; order; cost }
+  end

@@ -1,0 +1,44 @@
+(** IKKBZ: polynomial-time optimal left-deep ordering for tree queries
+    (Ibaraki & Kameda 1984; Krishnamurthy, Boral & Zaniolo 1986).
+
+    The paper's Section 2 discusses [IK84] at length: for {e acyclic}
+    join graphs and cost functions with the adjacent-sequence-interchange
+    (ASI) property, the optimal left-deep, Cartesian-product-free join
+    order is computable in polynomial time — and Cluet & Moerkotte showed
+    the problem turns NP-complete again once products are allowed.  This
+    module implements the classic algorithm for the canonical ASI cost
+    function [C_out] (cost of a join = its output cardinality — the
+    paper's naive model [kappa_0]):
+
+    - root the precedence tree at each relation in turn;
+    - bottom-up, turn every subtree into a {e rank-sorted chain}: child
+      chains merge by ascending rank [(T - 1) / C], and a parent whose
+      rank exceeds its first successor's is glued into a compound
+      segment (the "contradictory sequence" normalization), since
+      precedence forbids reordering them;
+    - the best root's chain, expanded, is the optimal ordering.
+
+    Each root costs [O(n log n)] merge work; all roots together
+    [O(n^2 log n)] — polynomial, against the exponential DPs.  The
+    result is provably optimal among product-free left-deep plans under
+    [C_out]; the repository's left-deep DP ({!Leftdeep} with
+    [~policy:Forbidden] and the naive model) recomputes the same optimum
+    in [O(n 2^n)], which the tests exploit as an oracle. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Plan = Blitz_plan.Plan
+
+type result = {
+  plan : Plan.t;  (** Left-deep, Cartesian-product-free. *)
+  order : int list;  (** The join order (first relation outermost). *)
+  cost : float;  (** Total [C_out]: sum of all intermediate result sizes. *)
+}
+
+val is_tree : Join_graph.t -> bool
+(** Connected with exactly [n - 1] edges. *)
+
+val optimize : Catalog.t -> Join_graph.t -> result
+(** Raises [Invalid_argument] unless the join graph is a tree (for
+    general acyclic = forest inputs, connect components first or fall
+    back to the DPs; cyclic graphs are outside IKKBZ's scope). *)

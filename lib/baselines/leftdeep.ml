@@ -1,0 +1,98 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Relset = Blitz_bitset.Relset
+module Counters = Blitz_core.Counters
+
+type product_policy = Allowed | Deferred | Forbidden
+
+type result = { plan : Plan.t option; cost : float; joins_enumerated : int }
+
+let optimize ?(policy = Allowed) ?counters model catalog graph =
+  let n = Catalog.n catalog in
+  let card = Blitz_core.Card_table.compute catalog graph in
+  let slots = 1 lsl n in
+  let cost = Array.make slots Float.infinity in
+  let last = Array.make slots (-1) in
+  (* Adjacency masks for connectivity-of-extension checks. *)
+  let nbr = Array.init n (fun i -> Join_graph.neighbors graph i) in
+  for i = 0 to n - 1 do
+    cost.(1 lsl i) <- 0.0
+  done;
+  let ctr = match counters with Some c -> c | None -> Counters.create () in
+  ctr.Counters.passes <- ctr.Counters.passes + 1;
+  let joins = ref 0 in
+  let k_prime = model.Cost_model.k_prime
+  and k_dprime = model.Cost_model.k_dprime
+  and dprime_is_zero = model.Cost_model.dprime_is_zero
+  and aux = model.Cost_model.aux in
+  for s = 3 to slots - 1 do
+    if s land (s - 1) <> 0 then begin
+      ctr.Counters.subsets <- ctr.Counters.subsets + 1;
+      let out = card.(s) in
+      (* kappa' is split-independent: hoisted out of the extension loop,
+         exactly as in the bushy optimizer (Section 3.2). *)
+      let kp = k_prime out in
+      let best_cost_so_far = ref Float.infinity in
+      let best_r = ref (-1) in
+      let consider allow_product =
+        Relset.iter
+          (fun r ->
+            ctr.Counters.loop_iters <- ctr.Counters.loop_iters + 1;
+            let prev = s lxor (1 lsl r) in
+            let cl = cost.(prev) in
+            (* Nested-if tiers mirroring find_best_split: operand cost
+               first, kappa'' only when still competitive. *)
+            if cl < !best_cost_so_far then begin
+              let connected = not (Relset.disjoint nbr.(r) prev) in
+              if connected || allow_product then begin
+                incr joins;
+                ctr.Counters.operand_sums <- ctr.Counters.operand_sums + 1;
+                let dpnd =
+                  if dprime_is_zero then cl
+                  else begin
+                    ctr.Counters.dprime_evals <- ctr.Counters.dprime_evals + 1;
+                    let rcard = card.(1 lsl r) in
+                    cl
+                    +. k_dprime ~out ~lcard:card.(prev) ~rcard ~laux:(aux card.(prev))
+                         ~raux:(aux rcard)
+                  end
+                in
+                if dpnd < !best_cost_so_far then begin
+                  ctr.Counters.improvements <- ctr.Counters.improvements + 1;
+                  best_cost_so_far := dpnd;
+                  best_r := r
+                end
+              end
+            end)
+          s
+      in
+      (match policy with
+      | Allowed -> consider true
+      | Forbidden -> consider false
+      | Deferred ->
+        consider false;
+        (* Only when no connected extension produced a plan do we fall
+           back to Cartesian-product extensions for this subset. *)
+        if !best_r < 0 then consider true);
+      if !best_r >= 0 then begin
+        cost.(s) <- !best_cost_so_far +. kp;
+        last.(s) <- !best_r
+      end
+      else ctr.Counters.infeasible <- ctr.Counters.infeasible + 1
+    end
+  done;
+  let full = slots - 1 in
+  let rec extract s =
+    if Relset.is_singleton s then Plan.Leaf (Relset.min_elt s)
+    else begin
+      let r = last.(s) in
+      assert (r >= 0);
+      Plan.Join (extract (s lxor (1 lsl r)), Plan.Leaf r)
+    end
+  in
+  if n = 1 then { plan = Some (Plan.Leaf 0); cost = 0.0; joins_enumerated = 0 }
+  else if Float.is_finite cost.(full) then
+    { plan = Some (extract full); cost = cost.(full); joins_enumerated = !joins }
+  else { plan = None; cost = Float.infinity; joins_enumerated = !joins }

@@ -1,0 +1,45 @@
+(** System-R-style dynamic programming over left-deep plans.
+
+    Selinger et al. (1979) restricted the search to left-deep vines —
+    every join's right operand is a base relation — and excluded or
+    deferred Cartesian products.  The DP state is a relation subset; each
+    subset is extended by one relation at a time, for [O(n 2^n)] joins
+    enumerated (the count the paper quotes for left-deep search with
+    products, Section 2).
+
+    Three product policies capture the design space:
+    - {!Allowed}: any extension, products included — the left-deep
+      analogue of blitzsplit;
+    - {!Deferred}: an extension producing a Cartesian product is
+      considered for a subset only when that subset has {e no} connected
+      extension — the classic System R heuristic;
+    - {!Forbidden}: product extensions are never considered; optimization
+      fails on disconnected join graphs. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+
+type product_policy = Allowed | Deferred | Forbidden
+
+type result = {
+  plan : Plan.t option;  (** [None] only under {!Forbidden} with a graph
+                             whose connected plans cannot cover all
+                             relations. *)
+  cost : float;  (** [infinity] when [plan] is [None]. *)
+  joins_enumerated : int;  (** Extensions considered, [<= n 2^(n-1)]. *)
+}
+
+val optimize :
+  ?policy:product_policy ->
+  ?counters:Blitz_core.Counters.t ->
+  Cost_model.t ->
+  Catalog.t ->
+  Join_graph.t ->
+  result
+(** [optimize model catalog graph] with [policy] defaulting to
+    {!Allowed}.  [counters] records the same nested-[if] tier counts as
+    the bushy optimizer, enabling the Section 6.2 comparison: left-deep
+    [kappa''] counts fall between [(ln n) 2^n] and [(n/2) 2^n], versus
+    the bushy [(ln 2 / 2) n 2^n] to [3^n]. *)

@@ -1,0 +1,26 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Relset = Blitz_bitset.Relset
+module Rng = Blitz_util.Rng
+
+let optimize ~rng ~samples model catalog graph =
+  if samples < 1 then invalid_arg "Random_probe.optimize: samples must be positive";
+  let n = Catalog.n catalog in
+  let eval = Eval.make model catalog graph in
+  if n = 1 then (Plan.Leaf 0, 0.0)
+  else begin
+    let full = Relset.full n in
+    let best = ref (Transform.random_bushy rng full) in
+    let best_cost = ref (Eval.cost eval !best) in
+    for _ = 2 to samples do
+      let candidate = Transform.random_bushy rng full in
+      let cost = Eval.cost eval candidate in
+      if cost < !best_cost then begin
+        best := candidate;
+        best_cost := cost
+      end
+    done;
+    (!best, !best_cost)
+  end

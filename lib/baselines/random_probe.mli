@@ -1,0 +1,18 @@
+(** Transformation-free random probing of the plan space.
+
+    Galindo-Legaria, Pellenkoft & Kersten (1994) argued for sampling plan
+    points directly instead of walking between neighbors (Section 2 of
+    the paper).  This baseline draws independent random bushy plans,
+    costs each, and keeps the best — the simplest possible probe-style
+    optimizer, useful as a floor for the stochastic comparison. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Rng = Blitz_util.Rng
+
+val optimize :
+  rng:Rng.t -> samples:int -> Cost_model.t -> Catalog.t -> Join_graph.t -> Plan.t * float
+(** Best of [samples] independent random bushy plans.  Raises
+    [Invalid_argument] when [samples < 1]. *)

@@ -1,0 +1,33 @@
+(** Simulated annealing over bushy join plans.
+
+    The second classic stochastic baseline (Section 2 / Steinbrunn):
+    random moves are always accepted when they improve the plan and with
+    probability [exp(-delta / temperature)] otherwise; the temperature
+    follows a geometric cooling schedule.  Deterministic given the RNG
+    seed. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Rng = Blitz_util.Rng
+
+type stats = { plans_evaluated : int; uphill_accepted : int; temperature_stages : int }
+
+val optimize :
+  rng:Rng.t ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  ?moves_per_stage:int ->
+  ?min_temperature_ratio:float ->
+  Cost_model.t ->
+  Catalog.t ->
+  Join_graph.t ->
+  (Plan.t * float) * stats
+(** [optimize ~rng model catalog graph]: starts from a random bushy plan;
+    [initial_temperature] defaults to the starting plan's cost (so early
+    uphill moves are likely); each stage performs [moves_per_stage]
+    (default [8 * n^2]) proposals before multiplying the temperature by
+    [cooling] (default 0.9); annealing stops once the temperature falls
+    below [min_temperature_ratio] (default 1e-4) times the best cost
+    seen, or the system freezes.  Returns the best plan encountered. *)

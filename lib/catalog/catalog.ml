@@ -1,0 +1,75 @@
+type t = {
+  names : string array;
+  cards : float array;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let max_relations = 62 (* Relset.max_width; kept literal to avoid a dependency cycle *)
+
+let of_list entries =
+  let len = List.length entries in
+  if len = 0 then invalid_arg "Catalog.of_list: empty catalog";
+  if len > max_relations then
+    invalid_arg
+      (Printf.sprintf "Catalog.of_list: %d relations exceed the %d-bit set width" len
+         max_relations);
+  let names = Array.make len "" and cards = Array.make len 0.0 in
+  let by_name = Hashtbl.create (2 * len) in
+  List.iteri
+    (fun i (nm, cd) ->
+      if nm = "" then invalid_arg "Catalog.of_list: empty relation name";
+      if Hashtbl.mem by_name nm then
+        invalid_arg (Printf.sprintf "Catalog.of_list: duplicate relation name %S" nm);
+      if not (Float.is_finite cd) || cd <= 0.0 then
+        invalid_arg
+          (Printf.sprintf "Catalog.of_list: relation %S has invalid cardinality %g" nm cd);
+      names.(i) <- nm;
+      cards.(i) <- cd;
+      Hashtbl.add by_name nm i)
+    entries;
+  { names; cards; by_name }
+
+let of_cards cards =
+  of_list (Array.to_list (Array.mapi (fun i c -> (Printf.sprintf "R%d" i, c)) cards))
+
+let uniform ~n ~card = of_cards (Array.make n card)
+
+let n t = Array.length t.cards
+
+let check_index t i =
+  if i < 0 || i >= n t then
+    invalid_arg (Printf.sprintf "Catalog: relation index %d outside [0, %d)" i (n t))
+
+let card t i =
+  check_index t i;
+  t.cards.(i)
+
+let cards t = Array.copy t.cards
+
+let name t i =
+  check_index t i;
+  t.names.(i)
+
+let names t = Array.copy t.names
+
+let index_of_name t nm = Hashtbl.find_opt t.by_name nm
+
+let geometric_mean_card t = Blitz_util.Stats.geometric_mean t.cards
+
+let variability t =
+  let mu = geometric_mean_card t in
+  if mu <= 1.0 then 0.0
+  else
+    let smallest = fst (Blitz_util.Stats.min_max t.cards) in
+    1.0 -. (log smallest /. log mu)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i nm ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%s: |%s| = %a" nm nm Blitz_util.Float_more.pp_engineering t.cards.(i))
+    t.names;
+  Format.fprintf ppf "@]"
+
+let equal a b = a.names = b.names && a.cards = b.cards

@@ -1,0 +1,98 @@
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+
+type t = {
+  table : Dp_table.t;
+  counters : Counters.t;
+  catalog : Catalog.t;
+  graph : Join_graph.t;
+  model : Cost_model.t;
+  threshold : float;
+}
+
+(* compute_properties for join optimization (Section 5.4): the fan
+   recurrence Pi_fan(S) = Pi_fan(U+W) * Pi_fan(U+Z), seeded with raw
+   predicate selectivities on doubletons, then
+   card(S) = card(U) * card(V) * Pi_fan(S)  (Equation 11). *)
+let compute_properties_join (tbl : Dp_table.t) (model : Cost_model.t) graph s =
+  let u = s land (-s) in
+  let v = s lxor u in
+  let fan =
+    if v land (v - 1) = 0 then Join_graph.selectivity graph (Relset.min_elt u) (Relset.min_elt v)
+    else begin
+      let w = v land (-v) in
+      let z = v lxor w in
+      tbl.pi_fan.(u lor w) *. tbl.pi_fan.(u lor z)
+    end
+  in
+  tbl.pi_fan.(s) <- fan;
+  let c = tbl.card.(u) *. tbl.card.(v) *. fan in
+  tbl.card.(s) <- c;
+  tbl.aux.(s) <- model.aux c
+
+(* compute_properties for Cartesian products (Figure 1): just the
+   cardinality product. *)
+let compute_properties_product (tbl : Dp_table.t) (model : Cost_model.t) s =
+  let u = s land (-s) in
+  let v = s lxor u in
+  let c = tbl.card.(u) *. tbl.card.(v) in
+  tbl.card.(s) <- c;
+  tbl.aux.(s) <- model.aux c
+
+let run ~graph_opt ?counters ?(threshold = Float.infinity) model catalog =
+  if threshold <= 0.0 then invalid_arg "Blitzsplit: threshold must be positive";
+  let n = Catalog.n catalog in
+  let graph =
+    match graph_opt with
+    | Some g ->
+      if Join_graph.n g <> n then
+        invalid_arg
+          (Printf.sprintf "Blitzsplit: graph over %d relations, catalog has %d" (Join_graph.n g) n);
+      g
+    | None -> Join_graph.no_predicates ~n
+  in
+  let ctr = match counters with Some c -> c | None -> Counters.create () in
+  ctr.passes <- ctr.passes + 1;
+  let tbl = Dp_table.create n in
+  Split_loop.init_singletons tbl model catalog;
+  let last = (1 lsl n) - 1 in
+  (match graph_opt with
+  | Some _ ->
+    for s = 3 to last do
+      if s land (s - 1) <> 0 then begin
+        compute_properties_join tbl model graph s;
+        Split_loop.find_best_split tbl model ctr ~threshold s
+      end
+    done
+  | None ->
+    for s = 3 to last do
+      if s land (s - 1) <> 0 then begin
+        compute_properties_product tbl model s;
+        Split_loop.find_best_split tbl model ctr ~threshold s
+      end
+    done);
+  { table = tbl; counters = ctr; catalog; graph; model; threshold }
+
+let optimize_join ?counters ?threshold model catalog graph =
+  run ~graph_opt:(Some graph) ?counters ?threshold model catalog
+
+let optimize_product ?counters ?threshold model catalog =
+  run ~graph_opt:None ?counters ?threshold model catalog
+
+let full_set t = Dp_table.full_set t.table
+
+let best_cost t = Dp_table.cost t.table (full_set t)
+
+let feasible t = Float.is_finite (best_cost t)
+
+let best_plan t = Dp_table.extract_plan t.table (full_set t)
+
+let best_plan_exn t =
+  match best_plan t with
+  | Some plan -> plan
+  | None -> failwith "Blitzsplit.best_plan_exn: no plan under the given threshold"
+
+let subplan t s = Dp_table.extract_plan t.table s

@@ -1,0 +1,71 @@
+(** Algorithm blitzsplit: exhaustive bushy join-order optimization with
+    Cartesian products (Vance & Maier, SIGMOD 1996, Sections 3-5).
+
+    Dynamic programming over every nonempty subset of the relation set,
+    visiting subsets in increasing bitset-integer order (which guarantees
+    all proper subsets of a set precede it, Section 4.2).  For each subset
+    the best 2-way split is found by stepping through all nonempty proper
+    subsets with the constant-time successor [succ(l) = s land (l - s)].
+
+    Join predicates enter only through the cardinality computation: the
+    fan recurrence of Section 5.3 folds every predicate selectivity into
+    [card] with three floating multiplications per subset, so the split
+    loop — the [O(3^n)] heart — is byte-for-byte the same for Cartesian
+    products and for joins.  Plans containing Cartesian products are
+    found exactly when they are optimal.
+
+    Time [O(3^n)]; space [O(2^n)] (the table).  An optional plan-cost
+    threshold (Section 6.4) prunes: any subset whose best plan would cost
+    at least the threshold is marked infeasible, which can make the whole
+    optimization fail — see {!Threshold} for the multi-pass driver. *)
+
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+
+type t = {
+  table : Dp_table.t;
+  counters : Counters.t;
+  catalog : Catalog.t;
+  graph : Join_graph.t;  (** Predicate-free for product optimization. *)
+  model : Cost_model.t;
+  threshold : float;  (** [infinity] when no threshold was applied. *)
+}
+(** The outcome of one optimization pass. *)
+
+val optimize_join :
+  ?counters:Counters.t ->
+  ?threshold:float ->
+  Cost_model.t ->
+  Catalog.t ->
+  Join_graph.t ->
+  t
+(** Optimize the join of all catalog relations under the graph's
+    predicates.  [counters] accumulates across calls when supplied
+    (fresh otherwise); [threshold] defaults to [infinity].  Raises
+    [Invalid_argument] when the graph's size differs from the catalog's,
+    or when the catalog exceeds {!Dp_table.max_relations} relations. *)
+
+val optimize_product : ?counters:Counters.t -> ?threshold:float -> Cost_model.t -> Catalog.t -> t
+(** Section 3: pure Cartesian-product optimization — the specialized
+    variant without the fan computation. *)
+
+(** {1 Inspecting results} *)
+
+val feasible : t -> bool
+(** False only when a finite threshold pruned away every complete plan. *)
+
+val best_cost : t -> float
+(** Cost of the optimal plan, or [infinity] when infeasible. *)
+
+val best_plan : t -> Plan.t option
+(** The optimal plan, extracted from the table. *)
+
+val best_plan_exn : t -> Plan.t
+(** Like {!best_plan}; raises [Failure] when infeasible. *)
+
+val subplan : t -> Relset.t -> Plan.t option
+(** Optimal plan for any subset of the relations (the table holds them
+    all). *)

@@ -1,0 +1,58 @@
+(** Blitzsplit with equivalence-class cardinalities (implied and
+    redundant predicates).
+
+    Section 5 closes with: "Similar techniques can accommodate implied or
+    redundant predicates ... but we shall not discuss those topics here."
+    This variant supplies that accommodation: predicates are grouped into
+    column-equivalence classes ({!Blitz_graph.Equivalence}), and the
+    cardinality of a subset charges each class [1/D] per relation beyond
+    the first — transitively implied predicates are counted exactly once,
+    where the plain pairwise graph would double-count them.
+
+    The fan recurrence does not survive this change (a class can span
+    both halves of a split several times), so the per-subset property is
+    a class {e presence bitmask} with the recurrence
+
+    {v mask(S) = mask(U) | mask(V)
+       span(U, V) = prod over classes in mask(U) & mask(V) of 1/D v}
+
+    — one machine word per entry and a short loop over present classes,
+    preserving the paper's structural promise that property computation
+    stays out of the split loop ("under no circumstances should changes
+    in find_best_split be necessary", Section 5.4): the split loop is
+    byte-for-byte the one {!Blitzsplit} uses. *)
+
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+module Equivalence = Blitz_graph.Equivalence
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+
+val max_classes : int
+(** Classes are tracked in one bitmask word: at most 62. *)
+
+type t = {
+  table : Dp_table.t;
+  counters : Counters.t;
+  catalog : Catalog.t;
+  equivalence : Equivalence.t;
+  model : Cost_model.t;
+  threshold : float;
+}
+
+val optimize :
+  ?counters:Counters.t ->
+  ?threshold:float ->
+  Cost_model.t ->
+  Catalog.t ->
+  Equivalence.t ->
+  t
+(** Like {!Blitzsplit.optimize_join}, with class-aware cardinalities.
+    Raises [Invalid_argument] on size mismatches or more than
+    {!max_classes} classes. *)
+
+val feasible : t -> bool
+val best_cost : t -> float
+val best_plan : t -> Plan.t option
+val best_plan_exn : t -> Plan.t
+val subplan : t -> Relset.t -> Plan.t option

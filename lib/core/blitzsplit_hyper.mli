@@ -1,0 +1,43 @@
+(** Blitzsplit over join hypergraphs.
+
+    Completes Section 5's second deferred extension: predicates that need
+    more than two relations before they can be evaluated.  The per-subset
+    property is a bitmask of {e completed} hyperedges with the recurrence
+
+    {v completed(S) = completed(U) | completed(V) | newly(U, V)
+       span(U, V)  = prod of selectivities of newly(U, V) v}
+
+    where [newly(U, V)] are the hyperedges contained in the union but in
+    neither side — the predicates the join of [U] and [V] must apply
+    (Section 5.1's no-more-no-fewer argument, verbatim, with "both
+    endpoints" generalized to "all members").  As with the other
+    variants, find_best_split is untouched. *)
+
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+module Hypergraph = Blitz_graph.Hypergraph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+
+val max_hyperedges : int
+(** 62 (one bitmask word). *)
+
+type t = {
+  table : Dp_table.t;
+  counters : Counters.t;
+  catalog : Catalog.t;
+  hypergraph : Hypergraph.t;
+  model : Cost_model.t;
+  threshold : float;
+}
+
+val optimize :
+  ?counters:Counters.t -> ?threshold:float -> Cost_model.t -> Catalog.t -> Hypergraph.t -> t
+(** Raises [Invalid_argument] on size mismatch or more than
+    {!max_hyperedges} hyperedges. *)
+
+val feasible : t -> bool
+val best_cost : t -> float
+val best_plan : t -> Plan.t option
+val best_plan_exn : t -> Plan.t
+val subplan : t -> Relset.t -> Plan.t option

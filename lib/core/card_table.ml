@@ -1,0 +1,35 @@
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+
+let compute catalog graph =
+  let n = Catalog.n catalog in
+  if Join_graph.n graph <> n then
+    invalid_arg
+      (Printf.sprintf "Card_table.compute: graph over %d relations, catalog has %d"
+         (Join_graph.n graph) n);
+  if n > Dp_table.max_relations then
+    invalid_arg (Printf.sprintf "Card_table.compute: %d relations exceed the table cap" n);
+  let slots = 1 lsl n in
+  let card = Array.make slots 1.0 and fan = Array.make slots 1.0 in
+  for i = 0 to n - 1 do
+    card.(1 lsl i) <- Catalog.card catalog i
+  done;
+  for s = 3 to slots - 1 do
+    if s land (s - 1) <> 0 then begin
+      let u = s land (-s) in
+      let v = s lxor u in
+      let f =
+        if v land (v - 1) = 0 then
+          Join_graph.selectivity graph (Relset.min_elt u) (Relset.min_elt v)
+        else begin
+          let w = v land (-v) in
+          let z = v lxor w in
+          fan.(u lor w) *. fan.(u lor z)
+        end
+      in
+      fan.(s) <- f;
+      card.(s) <- card.(u) *. card.(v) *. f
+    end
+  done;
+  card

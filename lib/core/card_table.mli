@@ -1,0 +1,17 @@
+(** Stand-alone intermediate-result cardinality table.
+
+    Computes, for every nonempty subset, the estimated join cardinality
+    using the same fan recurrence as the optimizer (Section 5), without
+    doing any plan search.  Baseline optimizers (left-deep DP, size-driven
+    DP, greedy, stochastic search) share this so that cross-method cost
+    comparisons rest on identical cardinality estimates, and so their
+    timings reflect enumeration strategy rather than estimation strategy. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+
+val compute : Catalog.t -> Join_graph.t -> float array
+(** [compute catalog graph] returns an array of size [2^n] with
+    [a.(s)] the join cardinality of subset [s] ([a.(0)] is unused and
+    holds 1).  Raises like {!Blitzsplit.optimize_join} on size
+    mismatches. *)

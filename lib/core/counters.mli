@@ -1,0 +1,50 @@
+(** Execution-count instrumentation for the blitzsplit inner loop.
+
+    Section 3.3 derives the expected counts that dominate running time —
+    [3^n] split-loop iterations, between [(ln 2 / 2) n 2^n] and [3^n]
+    evaluations of [kappa''] depending on cost spacing (Section 6.2), and
+    [2^n] per-subset straight-line executions.  These counters let the
+    benchmarks verify those predictions empirically (experiment
+    "counts"). *)
+
+type t = {
+  mutable subsets : int;
+      (** Calls to find_best_split: non-singleton subsets processed. *)
+  mutable loop_iters : int;
+      (** Split-loop iterations in aggregate (the [3^n] term). *)
+  mutable operand_sums : int;
+      (** Iterations passing the nested-[if] operand-cost checks (both
+          operand costs below best-so-far). *)
+  mutable dprime_evals : int;
+      (** Evaluations of [kappa''] (always 0 for the naive model, whose
+          [kappa''] is identically zero). *)
+  mutable improvements : int;
+      (** Times a split improved on the best so far (the harmonic-series
+          [(ln 2 / 2) n 2^n] term). *)
+  mutable threshold_skips : int;
+      (** Subsets whose split loop was skipped because [kappa'] already
+          met the plan-cost threshold (Section 6.4). *)
+  mutable infeasible : int;
+      (** Subsets for which no split beat the threshold. *)
+  mutable passes : int;
+      (** Optimization passes (> 1 only under threshold re-optimization). *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+(** {1 Analytic predictions (Section 3.3)} *)
+
+val exact_loop_iters : int -> int
+(** Exact aggregate split-loop count without thresholds:
+    [3^n - 2^(n+1) + 1]. *)
+
+val predicted_dprime_lower : int -> float
+(** [(ln 2 / 2) n 2^n], the expected count when cost spacing lets the
+    nested-[if]s reject most splits early. *)
+
+val predicted_dprime_upper : int -> float
+(** [3^n], the worst case when all splits cost alike. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+(** The dynamic-programming table of Algorithm blitzsplit.
+
+    One entry per nonempty subset of the relation set, indexed directly by
+    the subset's bitset integer (Section 4.1).  Stored as a struct of
+    arrays rather than an array of records so that each column is a flat,
+    unboxed float (or int) array — the moral equivalent of the paper's
+    16-bytes-per-row layout.
+
+    Columns (Sections 3.2 and 5.4):
+    - [card]: (estimated) cardinality of the join over the subset;
+    - [cost]: cost of the best plan found for the subset
+      ([infinity] when no plan beat the threshold);
+    - [best_lhs]: left operand set of the best split ([0] for singletons
+      and infeasible entries);
+    - [pi_fan]: the fan selectivity product of Section 5.3 (join
+      optimization only; [1] throughout for Cartesian products);
+    - [aux]: per-subset memo for the cost model (e.g. [c(1+log c)] for
+      sort-merge, as the appendix suggests). *)
+
+module Relset = Blitz_bitset.Relset
+module Plan = Blitz_plan.Plan
+
+type t = private {
+  n : int;
+  card : float array;
+  cost : float array;
+  best_lhs : int array;
+  pi_fan : float array;
+  aux : float array;
+}
+(** Exposed read-only; the arrays themselves are mutated only by the
+    optimizer in this library. *)
+
+val max_relations : int
+(** Hard cap on [n] (24): the table takes [5 * 8 * 2^n] bytes. *)
+
+val create : int -> t
+(** [create n] allocates the table for [n] relations.  Raises
+    [Invalid_argument] when [n] is outside [\[1, max_relations\]]. *)
+
+val size : t -> int
+(** Number of slots, [2^n]. *)
+
+val full_set : t -> Relset.t
+
+(** {1 Reading entries} *)
+
+val card : t -> Relset.t -> float
+val cost : t -> Relset.t -> float
+val best_lhs : t -> Relset.t -> Relset.t
+val pi_fan : t -> Relset.t -> float
+
+val is_feasible : t -> Relset.t -> bool
+(** Whether a plan was recorded for the subset (its cost is finite). *)
+
+val extract_plan : t -> Relset.t -> Plan.t option
+(** Walk [best_lhs] links recursively (the table-consultation procedure
+    of Section 3.1), producing the optimal plan for the given subset;
+    [None] when the subset is infeasible under the threshold used. *)
+
+val dump : ?names:string array -> t -> string
+(** Render in the format of the paper's Table 1: one row per nonempty
+    subset, ordered by subset size then lexicographically by members,
+    with columns Relation Set / Cardinality / Best LHS / Cost.  Intended
+    for small [n]. *)

@@ -1,0 +1,81 @@
+module Catalog = Blitz_catalog.Catalog
+module Cost_model = Blitz_cost.Cost_model
+
+(* The split loop of find_best_split (Figure 1, realized per Section 4.2).
+   [lhs] walks all nonempty proper subsets of [s] via the successor trick;
+   nested ifs defer the kappa'' evaluation until both operand costs and
+   their sum beat the best split so far (Section 6.2). *)
+let find_best_split (tbl : Dp_table.t) (model : Cost_model.t) (ctr : Counters.t) ~threshold s =
+  let cost = tbl.cost and card = tbl.card and aux = tbl.aux in
+  ctr.subsets <- ctr.subsets + 1;
+  let out = card.(s) in
+  let kp = model.k_prime out in
+  if kp >= threshold then begin
+    (* kappa' alone already "overflows": skip the loop entirely. *)
+    ctr.threshold_skips <- ctr.threshold_skips + 1;
+    ctr.infeasible <- ctr.infeasible + 1;
+    tbl.cost.(s) <- Float.infinity;
+    tbl.best_lhs.(s) <- 0
+  end
+  else begin
+    let k_dprime = model.k_dprime in
+    let dprime_is_zero = model.dprime_is_zero in
+    (* Splits must come in under [threshold - kappa'] for the total plan
+       cost to stay below the threshold. *)
+    let best_cost_so_far = ref (threshold -. kp) in
+    let best_lhs = ref 0 in
+    let lhs = ref (s land (-s)) in
+    let iters = ref 0 in
+    while !lhs <> s do
+      incr iters;
+      let l = !lhs in
+      let cl = cost.(l) in
+      if cl < !best_cost_so_far then begin
+        let r = s lxor l in
+        let cr = cost.(r) in
+        if cr < !best_cost_so_far then begin
+          ctr.operand_sums <- ctr.operand_sums + 1;
+          let oprnd_cost = cl +. cr in
+          if oprnd_cost < !best_cost_so_far then begin
+            let dpnd_cost =
+              if dprime_is_zero then oprnd_cost
+              else begin
+                ctr.dprime_evals <- ctr.dprime_evals + 1;
+                oprnd_cost
+                +. k_dprime ~out ~lcard:card.(l) ~rcard:card.(r) ~laux:aux.(l) ~raux:aux.(r)
+              end
+            in
+            if dpnd_cost < !best_cost_so_far then begin
+              ctr.improvements <- ctr.improvements + 1;
+              best_cost_so_far := dpnd_cost;
+              best_lhs := l
+            end
+          end
+        end
+      end;
+      lhs := s land (l - s)
+    done;
+    ctr.loop_iters <- ctr.loop_iters + !iters;
+    if !best_lhs = 0 then begin
+      ctr.infeasible <- ctr.infeasible + 1;
+      tbl.cost.(s) <- Float.infinity;
+      tbl.best_lhs.(s) <- 0
+    end
+    else begin
+      tbl.cost.(s) <- !best_cost_so_far +. kp;
+      tbl.best_lhs.(s) <- !best_lhs
+    end
+  end
+
+let init_singletons (tbl : Dp_table.t) (model : Cost_model.t) catalog =
+  let n = Catalog.n catalog in
+  for i = 0 to n - 1 do
+    let s = 1 lsl i in
+    let c = Catalog.card catalog i in
+    tbl.card.(s) <- c;
+    tbl.cost.(s) <- 0.0;
+    tbl.best_lhs.(s) <- 0;
+    tbl.pi_fan.(s) <- 1.0;
+    tbl.aux.(s) <- model.aux c
+  done
+

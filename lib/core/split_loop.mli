@@ -1,0 +1,18 @@
+(** The find_best_split kernel, shared by the optimizer variants.
+
+    Internal to [blitz_core]: {!Blitzsplit} (plain join graphs) and
+    {!Blitzsplit_eq} (equivalence-class cardinalities) differ only in how
+    [compute_properties] fills the cardinality column; the split loop —
+    the [O(3^n)] part realized with the successor trick and nested-[if]
+    pruning (Sections 4.2, 6.2) — is identical and lives here. *)
+
+val find_best_split :
+  Dp_table.t -> Blitz_cost.Cost_model.t -> Counters.t -> threshold:float -> int -> unit
+(** Fill [cost] and [best_lhs] for the (non-singleton) subset, reading
+    the already-computed [card], [cost] and [aux] columns of its proper
+    subsets.  With a finite [threshold], marks the entry infeasible
+    (cost [infinity], best_lhs 0) when no split stays below it. *)
+
+val init_singletons : Dp_table.t -> Blitz_cost.Cost_model.t -> Blitz_catalog.Catalog.t -> unit
+(** Fill the singleton rows: cardinality from the catalog, cost 0, aux
+    memo from the model. *)

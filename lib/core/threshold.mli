@@ -1,0 +1,86 @@
+(** Plan-cost-threshold optimization with re-optimization passes
+    (Section 6.4).
+
+    A threshold simulates floating-point overflow far below actual
+    overflow: best-split searches are skipped for every subset whose
+    [kappa'] alone reaches the threshold, and splits are accepted only
+    below it.  Queries whose optimal plan is cheap get optimized faster;
+    queries whose best plan costs more than the threshold fail the pass
+    and are retried with a raised threshold.
+
+    Correctness: plan cost is a sum of non-negative join costs, so every
+    subplan of a plan costing under the threshold itself costs under the
+    threshold — a pass that succeeds therefore returns the true optimum
+    whenever the optimum is below its threshold. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+
+type outcome = {
+  result : Blitzsplit.t;  (** The final (successful) pass. *)
+  passes : int;  (** Total optimization passes run. *)
+  final_threshold : float;
+      (** Threshold of the successful pass ([infinity] when the fallback
+          unthresholded pass was needed). *)
+}
+
+val optimize_join :
+  ?counters:Counters.t ->
+  ?growth:float ->
+  ?max_passes:int ->
+  threshold:float ->
+  Cost_model.t ->
+  Catalog.t ->
+  Join_graph.t ->
+  outcome
+(** [optimize_join ~threshold model catalog graph] runs blitzsplit with
+    the given initial plan-cost threshold; on failure the threshold is
+    multiplied by [growth] (default [1e4]) and the optimization rerun, up
+    to [max_passes] (default 16) thresholded passes, after which a final
+    unthresholded pass guarantees an answer.  [counters] accumulates over
+    all passes.  Raises [Invalid_argument] for non-positive thresholds or
+    [growth <= 1]. *)
+
+val optimize_product :
+  ?counters:Counters.t ->
+  ?growth:float ->
+  ?max_passes:int ->
+  threshold:float ->
+  Cost_model.t ->
+  Catalog.t ->
+  outcome
+
+(** {1 Variant optimizers}
+
+    The same multi-pass driver over the equivalence-class and hypergraph
+    variants; the correctness argument is identical since both share the
+    split loop and its threshold semantics. *)
+
+type eq_outcome = { eq_result : Blitzsplit_eq.t; eq_passes : int; eq_final_threshold : float }
+
+val optimize_eq :
+  ?counters:Counters.t ->
+  ?growth:float ->
+  ?max_passes:int ->
+  threshold:float ->
+  Cost_model.t ->
+  Catalog.t ->
+  Blitz_graph.Equivalence.t ->
+  eq_outcome
+
+type hyper_outcome = {
+  hyper_result : Blitzsplit_hyper.t;
+  hyper_passes : int;
+  hyper_final_threshold : float;
+}
+
+val optimize_hyper :
+  ?counters:Counters.t ->
+  ?growth:float ->
+  ?max_passes:int ->
+  threshold:float ->
+  Cost_model.t ->
+  Catalog.t ->
+  Blitz_graph.Hypergraph.t ->
+  hyper_outcome

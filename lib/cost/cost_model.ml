@@ -1,0 +1,80 @@
+type t = {
+  name : string;
+  aux : float -> float;
+  k_prime : float -> float;
+  k_dprime : out:float -> lcard:float -> rcard:float -> laux:float -> raux:float -> float;
+  dprime_is_zero : bool;
+}
+
+let identity_aux (c : float) = c
+
+let naive =
+  {
+    name = "k0";
+    aux = identity_aux;
+    k_prime = (fun out -> out);
+    k_dprime = (fun ~out:_ ~lcard:_ ~rcard:_ ~laux:_ ~raux:_ -> 0.0);
+    dprime_is_zero = true;
+  }
+
+(* c * (1 + log c), guarded so tiny fractional intermediate cardinalities
+   (possible under strong selectivities) never yield a negative cost. *)
+let sm_term c = if c <= 1.0 then c else c *. (1.0 +. log c)
+
+let sort_merge =
+  {
+    name = "ksm";
+    aux = sm_term;
+    k_prime = (fun _out -> 0.0);
+    k_dprime = (fun ~out:_ ~lcard:_ ~rcard:_ ~laux ~raux -> laux +. raux);
+    dprime_is_zero = false;
+  }
+
+let disk_nested_loops ?(blocking_factor = 10.0) ?(memory_blocks = 100.0) () =
+  if blocking_factor <= 0.0 then invalid_arg "Cost_model.disk_nested_loops: K must be positive";
+  if memory_blocks <= 1.0 then invalid_arg "Cost_model.disk_nested_loops: M must exceed 1";
+  let k = blocking_factor and m = memory_blocks in
+  let inner_coeff = 1.0 /. (k *. k *. (m -. 1.0)) in
+  {
+    name = "kdnl";
+    aux = identity_aux;
+    k_prime = (fun out -> 2.0 *. out /. k);
+    k_dprime =
+      (fun ~out:_ ~lcard ~rcard ~laux:_ ~raux:_ ->
+        (lcard *. rcard *. inner_coeff) +. (Float.min lcard rcard /. k));
+    dprime_is_zero = false;
+  }
+
+let kdnl = disk_nested_loops ()
+
+let kappa t ~out ~lcard ~rcard =
+  t.k_prime out
+  +. t.k_dprime ~out ~lcard ~rcard ~laux:(t.aux lcard) ~raux:(t.aux rcard)
+
+let min_of a b =
+  {
+    name = Printf.sprintf "min:%s,%s" a.name b.name;
+    aux = identity_aux;
+    k_prime = (fun _out -> 0.0);
+    k_dprime =
+      (fun ~out ~lcard ~rcard ~laux:_ ~raux:_ ->
+        Float.min (kappa a ~out ~lcard ~rcard) (kappa b ~out ~lcard ~rcard));
+    dprime_is_zero = false;
+  }
+
+let all_paper = [ naive; sort_merge; kdnl ]
+
+let rec of_string s =
+  match s with
+  | "k0" | "naive" -> Ok naive
+  | "ksm" | "sort-merge" -> Ok sort_merge
+  | "kdnl" | "disk-nested-loops" -> Ok kdnl
+  | _ ->
+    if String.length s > 4 && String.sub s 0 4 = "min:" then
+      match String.split_on_char ',' (String.sub s 4 (String.length s - 4)) with
+      | [ a; b ] -> (
+        match (of_string a, of_string b) with
+        | Ok a, Ok b -> Ok (min_of a b)
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+      | _ -> Error (Printf.sprintf "min model needs exactly two components: %S" s)
+    else Error (Printf.sprintf "unknown cost model %S (expected k0|ksm|kdnl|min:A,B)" s)

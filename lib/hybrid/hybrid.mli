@@ -1,0 +1,54 @@
+(** Hybrid optimization: dynamic programming inside randomized search.
+
+    Section 7 of the paper announces (as future work, inspired by Martin
+    & Otto's Chained Local Optimization) "a hybrid [that] combines dynamic
+    programming with randomized search" to get past the exponential wall
+    of exhaustive search.  This module implements that idea:
+
+    - the current plan is improved by repeatedly choosing a {e window}:
+      a subtree is decomposed into at most [window] {e units} (whole
+      sub-subtrees; single relations when the subtree is small), each
+      unit becomes a pseudo-relation whose cardinality and pairwise
+      selectivities follow from Equations (7)/(8), and blitzsplit
+      re-arranges the units {e exactly}.  Unit-internal structure is
+      untouched, so splicing the optimal arrangement back in can only
+      lower total cost — even near the root of a large plan;
+    - when no window re-arrangement improves the plan, it is {e kicked}
+      — several random transformation moves — and the descent repeats,
+      keeping the chain's best plan (the CLO acceptance rule).
+
+    Because each window costs at most [O(3^window)], total work is
+    polynomial in [n] for fixed [window], letting the hybrid scale far
+    beyond [Dp_table.max_relations] relations. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Rng = Blitz_util.Rng
+
+type stats = {
+  windows_reoptimized : int;  (** Exact DP re-optimizations performed. *)
+  windows_improved : int;  (** Of those, how many lowered the cost. *)
+  kicks : int;  (** Perturbation phases. *)
+  plans_evaluated : int;
+}
+
+val optimize :
+  rng:Rng.t ->
+  ?window:int ->
+  ?kicks:int ->
+  ?kick_strength:int ->
+  ?start:Plan.t ->
+  Cost_model.t ->
+  Catalog.t ->
+  Join_graph.t ->
+  (Plan.t * float) * stats
+(** [optimize ~rng model catalog graph] runs chained descent.  [window]
+    (default [min 10 n]) bounds exact-reoptimization size;
+    [kicks] (default [4 * n]) bounds perturbation phases;
+    [kick_strength] (default 3) is the number of random moves per kick;
+    [start] defaults to the greedy plan.  Unlike blitzsplit itself, this
+    works for arbitrarily many relations; cost is evaluated with the full
+    reference costing (no [2^n] table) when [n] exceeds the DP-table
+    cap. *)

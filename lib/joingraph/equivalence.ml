@@ -1,0 +1,138 @@
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+
+type column = int * string
+
+type cls = { members : column list; relations : Relset.t; domain : float }
+
+type t = { n : int; classes : cls list }
+
+let n t = t.n
+let classes t = t.classes
+
+let validate_class ~n c =
+  if c.members = [] then invalid_arg "Equivalence: class with no members";
+  if c.domain < 1.0 || not (Float.is_finite c.domain) then
+    invalid_arg (Printf.sprintf "Equivalence: invalid domain %g" c.domain);
+  if Relset.cardinal c.relations < 2 then
+    invalid_arg "Equivalence: a class must touch at least two relations";
+  List.iter
+    (fun (rel, col) ->
+      if rel < 0 || rel >= n then
+        invalid_arg (Printf.sprintf "Equivalence: relation %d out of range" rel);
+      if col = "" then invalid_arg "Equivalence: empty column name";
+      if not (Relset.mem c.relations rel) then
+        invalid_arg "Equivalence: member outside the class relation set")
+    c.members
+
+let of_classes ~n classes =
+  if n < 1 then invalid_arg "Equivalence.of_classes: n must be positive";
+  List.iter (validate_class ~n) classes;
+  { n; classes }
+
+(* Union-find over columns, keyed by (relation, column). *)
+let of_predicates ~n predicates =
+  if n < 1 then invalid_arg "Equivalence.of_predicates: n must be positive";
+  let parent : (column, column) Hashtbl.t = Hashtbl.create 32 in
+  let rec find c =
+    match Hashtbl.find_opt parent c with
+    | None ->
+      Hashtbl.add parent c c;
+      c
+    | Some p -> if p = c then c else find p
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  (* Domain per root: the max of 1/sel over merged predicates. *)
+  let domains : (column, float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (((r1, _) as c1), ((r2, _) as c2), sel) ->
+      if sel <= 0.0 || sel > 1.0 then
+        invalid_arg (Printf.sprintf "Equivalence.of_predicates: selectivity %g outside (0, 1]" sel);
+      if r1 = r2 then invalid_arg "Equivalence.of_predicates: predicate relates a relation to itself";
+      if r1 < 0 || r1 >= n || r2 < 0 || r2 >= n then
+        invalid_arg "Equivalence.of_predicates: relation index out of range";
+      let d_before c = Option.value ~default:1.0 (Hashtbl.find_opt domains (find c)) in
+      let d = Float.max (1.0 /. sel) (Float.max (d_before c1) (d_before c2)) in
+      union c1 c2;
+      Hashtbl.replace domains (find c1) d)
+    predicates;
+  (* Group columns by root. *)
+  let groups : (column, column list) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun c _ ->
+      let root = find c in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups root) in
+      Hashtbl.replace groups root (c :: existing))
+    parent;
+  let classes =
+    Hashtbl.fold
+      (fun root members acc ->
+        let members = List.sort_uniq compare members in
+        let relations = List.fold_left (fun s (rel, _) -> Relset.add s rel) Relset.empty members in
+        if Relset.cardinal relations < 2 then acc
+        else begin
+          let domain = Option.value ~default:1.0 (Hashtbl.find_opt domains root) in
+          { members; relations; domain } :: acc
+        end)
+      groups []
+  in
+  (* Deterministic order: by smallest member. *)
+  let classes = List.sort (fun a b -> compare a.members b.members) classes in
+  { n; classes }
+
+let selectivity_exponent t s =
+  Array.of_list
+    (List.map
+       (fun c ->
+         let k = Relset.cardinal (Relset.inter c.relations s) in
+         max 0 (k - 1))
+       t.classes)
+
+let join_cardinality catalog t s =
+  if Catalog.n catalog <> t.n then
+    invalid_arg "Equivalence.join_cardinality: catalog size mismatch";
+  let cards = Relset.fold (fun acc i -> acc *. Catalog.card catalog i) 1.0 s in
+  List.fold_left
+    (fun acc c ->
+      let k = Relset.cardinal (Relset.inter c.relations s) in
+      if k <= 1 then acc else acc /. Blitz_util.Float_more.pow_int c.domain (k - 1))
+    cards t.classes
+
+let as_pairwise_graph t =
+  let sel : (int * int, float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      let rels = Relset.to_list c.relations in
+      List.iteri
+        (fun i a ->
+          List.iteri
+            (fun j b ->
+              if j > i then begin
+                let key = (a, b) in
+                let existing = Option.value ~default:1.0 (Hashtbl.find_opt sel key) in
+                Hashtbl.replace sel key (existing /. c.domain)
+              end)
+            rels)
+        rels)
+    t.classes;
+  Join_graph.of_edges ~n:t.n (Hashtbl.fold (fun (a, b) s acc -> (a, b, s) :: acc) sel [])
+
+let spanning_graph t =
+  let sel : (int * int, float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      let rels = Relset.to_list c.relations in
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+          let key = (a, b) in
+          let existing = Option.value ~default:1.0 (Hashtbl.find_opt sel key) in
+          Hashtbl.replace sel key (existing /. c.domain);
+          chain rest
+        | [ _ ] | [] -> ()
+      in
+      chain rels)
+    t.classes;
+  Join_graph.of_edges ~n:t.n (Hashtbl.fold (fun (a, b) s acc -> (a, b, s) :: acc) sel [])

@@ -1,0 +1,82 @@
+(** Column-equivalence classes: implied and redundant predicates.
+
+    Section 5 of the paper notes that techniques similar to the fan
+    recurrence "can accommodate implied or redundant predicates", without
+    spelling them out.  This module supplies the standard treatment.
+
+    The problem: with transitive equalities [a.x = b.y], [b.y = c.z] (and
+    possibly the implied/redundant [a.x = c.z] written explicitly), the
+    plain join graph multiplies one selectivity per {e edge} inside a
+    subset, double-counting — joining all three relations applies two
+    independent constraints, not three.
+
+    The model: an {e equivalence class} is a set of columns forced equal,
+    characterized by the set of relations it touches and a {e domain
+    size} [D].  Joining [k >= 1] relations of one class multiplies the
+    Cartesian cardinality by [D^-(k-1)]: the first relation is free and
+    each further one must agree on the class value.  Pairwise this
+    reduces to the familiar [sel = 1/D]; transitively it counts each
+    constraint exactly once.
+
+    Cardinality estimation with classes no longer factors through the
+    one-float fan recurrence (a class may span both halves of a split
+    several times), so {!Blitz_core.Blitzsplit_eq} carries a per-subset
+    class {e presence mask} instead — still O(1) words per table entry. *)
+
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+
+type column = int * string
+(** A column as (relation index, column name). *)
+
+type cls = {
+  members : column list;  (** The equivalent columns (at least two). *)
+  relations : Relset.t;  (** Relations touched (one bit per member relation). *)
+  domain : float;  (** Domain size [D >= 1]. *)
+}
+
+type t
+(** A set of equivalence classes over [n] relations. *)
+
+val n : t -> int
+val classes : t -> cls list
+(** In construction order; each class touches at least two relations. *)
+
+val of_classes : n:int -> cls list -> t
+(** Direct construction.  Raises [Invalid_argument] on empty class
+    member lists, out-of-range relations, domains below 1, or a class
+    touching fewer than two relations. *)
+
+val of_predicates : n:int -> (column * column * float) list -> t
+(** Build classes from binary equi-predicates by union-find on columns.
+    Each predicate [(c1, c2, sel)] asserts [c1 = c2] with selectivity
+    [sel]; the class's domain is the largest implied domain
+    [max over merged predicates of 1/sel] (the most selective consistent
+    interpretation would instead take the max domain; we follow the
+    textbook max-domain rule, i.e. smallest selectivity wins).  Raises
+    [Invalid_argument] on selectivities outside (0, 1] or a predicate
+    relating a relation to itself. *)
+
+val selectivity_exponent : t -> Relset.t -> int array
+(** [selectivity_exponent t s] gives, per class (in {!classes} order),
+    [max 0 (k - 1)] where [k] is the number of [s]'s relations the class
+    touches — the exponent of [1/D] this class contributes to the join
+    cardinality of [s]. *)
+
+val join_cardinality : Catalog.t -> t -> Relset.t -> float
+(** Reference class-aware cardinality: product of member cardinalities
+    times [prod_c D_c^-(k_c - 1)]. *)
+
+val as_pairwise_graph : t -> Join_graph.t
+(** The {e naive} pairwise projection: an edge of selectivity [1/D]
+    between every pair of relations sharing a class.  Feeding this to
+    the plain optimizer over-counts on classes spanning 3+ relations —
+    exposed so benchmarks can quantify the estimation error the
+    class-aware optimizer fixes. *)
+
+val spanning_graph : t -> Join_graph.t
+(** A non-redundant pairwise projection: each class contributes a chain
+    of [k - 1] edges (selectivity [1/D]) through its relations in index
+    order.  Correct for {e complete} joins of all class relations but
+    still inexact for subsets that skip an intermediate chain member;
+    the class-aware optimizer is exact for every subset. *)

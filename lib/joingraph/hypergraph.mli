@@ -1,0 +1,49 @@
+(** Join hypergraphs: predicates spanning more than two relations.
+
+    The second extension Section 5 sketches and defers ("Similar
+    techniques can accommodate implied or redundant predicates and join
+    hypergraphs").  A {e hyperedge} is a predicate that can only be
+    evaluated once {e all} of a set of relations are present — e.g.
+    [R.a + S.b = T.c] touches three relations.  Its selectivity applies
+    exactly once, at the join where its last member relation arrives.
+
+    Cardinality semantics: for a subset [S], the join cardinality is the
+    product of member cardinalities times the selectivity of every
+    hyperedge {e fully contained} in [S] (Section 5.1's argument — a
+    predicate participates as soon as, and only when, its referent
+    relations are all available).  For two-relation hyperedges this
+    degenerates to the ordinary join graph. *)
+
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+
+type hyperedge = {
+  members : Relset.t;  (** At least two relations. *)
+  selectivity : float;  (** In (0, 1]. *)
+}
+
+type t
+
+val n : t -> int
+val edges : t -> hyperedge list
+
+val of_edges : n:int -> (Relset.t * float) list -> t
+(** Raises [Invalid_argument] on out-of-range members, hyperedges with
+    fewer than two relations, duplicate member sets (conjoin the
+    selectivities instead), or selectivities outside (0, 1]. *)
+
+val of_join_graph : Join_graph.t -> t
+(** Embed an ordinary join graph (every edge becomes a binary
+    hyperedge). *)
+
+val join_cardinality : Catalog.t -> t -> Relset.t -> float
+(** Reference semantics: member cardinalities times the selectivities of
+    fully-contained hyperedges. *)
+
+val pi_span : t -> Relset.t -> Relset.t -> float
+(** Product of selectivities of hyperedges contained in the union of the
+    two (disjoint) sets but in neither alone — the factor a join of the
+    two applies. *)
+
+val crosses : t -> Relset.t -> Relset.t -> bool
+(** Whether joining the two sets completes at least one hyperedge. *)

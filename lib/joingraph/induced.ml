@@ -1,0 +1,30 @@
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+
+type t = { catalog : Catalog.t; graph : Join_graph.t; to_parent : int array }
+
+let project catalog graph s =
+  if Relset.is_empty s then invalid_arg "Induced.project: empty relation set";
+  let n_parent = Catalog.n catalog in
+  if Relset.max_elt s >= n_parent then invalid_arg "Induced.project: set exceeds catalog";
+  if Join_graph.n graph <> n_parent then invalid_arg "Induced.project: graph/catalog size mismatch";
+  let to_parent = Array.of_list (Relset.to_list s) in
+  let k = Array.length to_parent in
+  let dense_of = Hashtbl.create (2 * k) in
+  Array.iteri (fun dense parent -> Hashtbl.add dense_of parent dense) to_parent;
+  let sub_catalog =
+    Catalog.of_list
+      (Array.to_list
+         (Array.map (fun parent -> (Catalog.name catalog parent, Catalog.card catalog parent)) to_parent))
+  in
+  let sub_edges =
+    List.filter_map
+      (fun (i, j, sel) ->
+        match (Hashtbl.find_opt dense_of i, Hashtbl.find_opt dense_of j) with
+        | Some di, Some dj -> Some (di, dj, sel)
+        | _, None | None, _ -> None)
+      (Join_graph.edges graph)
+  in
+  { catalog = sub_catalog; graph = Join_graph.of_edges ~n:k sub_edges; to_parent }
+
+let lift_set t s = Relset.fold (fun acc i -> Relset.add acc t.to_parent.(i)) Relset.empty s

@@ -1,0 +1,25 @@
+(** Projection of an optimization problem onto a subset of its relations.
+
+    Several components — the hybrid optimizer re-optimizing plan windows,
+    baselines working on sub-queries, tests on induced subgraphs — need
+    the catalog and join graph restricted to a relation subset, with
+    indexes re-densified to [0 .. |S|-1].  Section 5.1's induced-subgraph
+    semantics guarantee the projection preserves join cardinalities and
+    hence plan costs for plans over the subset. *)
+
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+
+type t = {
+  catalog : Catalog.t;  (** Restricted catalog, dense indexes. *)
+  graph : Join_graph.t;  (** Induced subgraph, dense indexes. *)
+  to_parent : int array;  (** [to_parent.(i)] is the original index of dense index [i]. *)
+}
+
+val project : Catalog.t -> Join_graph.t -> Relset.t -> t
+(** Raises [Invalid_argument] on the empty set or indexes outside the
+    catalog. *)
+
+val lift_set : t -> Relset.t -> Relset.t
+(** Map a dense-index set back to original indexes.  (Plans are lifted
+    with [Plan.map_leaves] over [to_parent].) *)

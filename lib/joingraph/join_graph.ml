@@ -1,0 +1,118 @@
+module Relset = Blitz_bitset.Relset
+
+type t = {
+  n : int;
+  sel : float array; (* n*n, symmetric; 1.0 where no edge *)
+  edge : bool array; (* n*n, symmetric *)
+  neighbors : int array; (* per-relation adjacency bitmask *)
+}
+
+let n t = t.n
+
+let check_pair t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg (Printf.sprintf "Join_graph: relation index out of range (%d, %d)" i j);
+  if i = j then invalid_arg "Join_graph: self-edge query"
+
+let idx t i j = (i * t.n) + j
+
+let no_predicates ~n =
+  if n < 1 then invalid_arg "Join_graph: need at least one relation";
+  if n > Relset.max_width then invalid_arg "Join_graph: too many relations for the bitset width";
+  { n; sel = Array.make (n * n) 1.0; edge = Array.make (n * n) false; neighbors = Array.make n 0 }
+
+let of_edges ~n edges =
+  let t = no_predicates ~n in
+  List.iter
+    (fun (i, j, s) ->
+      check_pair t i j;
+      if t.edge.(idx t i j) then
+        invalid_arg (Printf.sprintf "Join_graph.of_edges: duplicate edge (%d, %d)" i j);
+      if not (Float.is_finite s) || s <= 0.0 then
+        invalid_arg (Printf.sprintf "Join_graph.of_edges: invalid selectivity %g on (%d, %d)" s i j);
+      t.sel.(idx t i j) <- s;
+      t.sel.(idx t j i) <- s;
+      t.edge.(idx t i j) <- true;
+      t.edge.(idx t j i) <- true;
+      t.neighbors.(i) <- Relset.add t.neighbors.(i) j;
+      t.neighbors.(j) <- Relset.add t.neighbors.(j) i)
+    edges;
+  t
+
+let selectivity t i j =
+  check_pair t i j;
+  t.sel.(idx t i j)
+
+let has_edge t i j =
+  check_pair t i j;
+  t.edge.(idx t i j)
+
+let neighbors t i =
+  if i < 0 || i >= t.n then invalid_arg "Join_graph.neighbors: index out of range";
+  t.neighbors.(i)
+
+let degree t i = Relset.cardinal (neighbors t i)
+
+let edges t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    for j = t.n - 1 downto i + 1 do
+      if t.edge.(idx t i j) then acc := (i, j, t.sel.(idx t i j)) :: !acc
+    done
+  done;
+  !acc
+
+let edge_count t = List.length (edges t)
+
+let is_connected_subset t s =
+  if Relset.is_empty s || Relset.is_singleton s then true
+  else begin
+    (* BFS over the induced subgraph using adjacency bitmasks. *)
+    let seed = Relset.lowest_bit s in
+    let reached = ref seed and frontier = ref seed in
+    while not (Relset.is_empty !frontier) do
+      let next = ref Relset.empty in
+      Relset.iter
+        (fun i -> next := Relset.union !next (Relset.inter t.neighbors.(i) s))
+        !frontier;
+      frontier := Relset.diff !next !reached;
+      reached := Relset.union !reached !frontier
+    done;
+    Relset.equal !reached s
+  end
+
+let is_connected t = is_connected_subset t (Relset.full t.n)
+
+let crosses t u v =
+  Relset.exists (fun i -> not (Relset.disjoint t.neighbors.(i) v)) u
+
+let pi_span t u v =
+  if not (Relset.disjoint u v) then invalid_arg "Join_graph.pi_span: sets intersect";
+  Relset.fold
+    (fun acc i ->
+      Relset.fold (fun acc j -> if t.edge.(idx t i j) then acc *. t.sel.(idx t i j) else acc) acc v)
+    1.0 u
+
+let pi_fan t s =
+  if Relset.is_empty s then invalid_arg "Join_graph.pi_fan: empty set";
+  let u = Relset.lowest_bit s in
+  pi_span t u (Relset.diff s u)
+
+let pi_induced t s =
+  Relset.fold
+    (fun acc i ->
+      Relset.fold
+        (fun acc j -> if j > i && t.edge.(idx t i j) then acc *. t.sel.(idx t i j) else acc)
+        acc s)
+    1.0 s
+
+let join_cardinality catalog t s =
+  let cards = Relset.fold (fun acc i -> acc *. Blitz_catalog.Catalog.card catalog i) 1.0 s in
+  cards *. pi_induced t s
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>join graph on %d relations:" t.n;
+  List.iter
+    (fun (i, j, s) -> Format.fprintf ppf "@,  R%d -- R%d  (selectivity %.6g)" i j s)
+    (edges t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,141 @@
+type token =
+  | Ident of string
+  | Number of float
+  | Kw_create
+  | Kw_table
+  | Kw_cardinality
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_and
+  | Kw_as
+  | Kw_order
+  | Kw_by
+  | Star
+  | Dot
+  | Comma
+  | Semicolon
+  | Equal
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+
+type spanned = { token : token; pos : Ast.position }
+
+type error = { message : string; error_pos : Ast.position }
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number x -> Printf.sprintf "number %g" x
+  | Kw_create -> "CREATE"
+  | Kw_table -> "TABLE"
+  | Kw_cardinality -> "CARDINALITY"
+  | Kw_select -> "SELECT"
+  | Kw_from -> "FROM"
+  | Kw_where -> "WHERE"
+  | Kw_and -> "AND"
+  | Kw_as -> "AS"
+  | Kw_order -> "ORDER"
+  | Kw_by -> "BY"
+  | Star -> "'*'"
+  | Dot -> "'.'"
+  | Comma -> "','"
+  | Semicolon -> "';'"
+  | Equal -> "'='"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+
+let keyword_of_string s =
+  match String.lowercase_ascii s with
+  | "create" -> Some Kw_create
+  | "table" -> Some Kw_table
+  | "cardinality" -> Some Kw_cardinality
+  | "select" -> Some Kw_select
+  | "from" -> Some Kw_from
+  | "where" -> Some Kw_where
+  | "and" -> Some Kw_and
+  | "as" -> Some Kw_as
+  | "order" -> Some Kw_order
+  | "by" -> Some Kw_by
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize text =
+  let len = String.length text in
+  let line = ref 1 and col = ref 1 and i = ref 0 in
+  let acc = ref [] in
+  let err = ref None in
+  let position () = { Ast.line = !line; column = !col } in
+  let advance () =
+    if !i < len && text.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  let emit token pos = acc := { token; pos } :: !acc in
+  while !err = None && !i < len do
+    let c = text.[!i] in
+    let pos = position () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '-' && !i + 1 < len && text.[!i + 1] = '-' then begin
+      while !i < len && text.[!i] <> '\n' do
+        advance ()
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < len && is_ident_char text.[!i] do
+        advance ()
+      done;
+      let word = String.sub text start (!i - start) in
+      match keyword_of_string word with
+      | Some kw -> emit kw pos
+      | None -> emit (Ident word) pos
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while
+        !i < len
+        && (is_digit text.[!i]
+           || text.[!i] = '.'
+           || text.[!i] = 'e'
+           || text.[!i] = 'E'
+           || ((text.[!i] = '+' || text.[!i] = '-')
+              && !i > start
+              && (text.[!i - 1] = 'e' || text.[!i - 1] = 'E')))
+      do
+        advance ()
+      done;
+      let word = String.sub text start (!i - start) in
+      match float_of_string_opt word with
+      | Some x -> emit (Number x) pos
+      | None -> err := Some { message = Printf.sprintf "malformed number %S" word; error_pos = pos }
+    end
+    else begin
+      let simple token =
+        advance ();
+        emit token pos
+      in
+      match c with
+      | '*' -> simple Star
+      | '.' -> simple Dot
+      | ',' -> simple Comma
+      | ';' -> simple Semicolon
+      | '=' -> simple Equal
+      | '(' -> simple Lparen
+      | ')' -> simple Rparen
+      | '{' -> simple Lbrace
+      | '}' -> simple Rbrace
+      | _ ->
+        err := Some { message = Printf.sprintf "unexpected character %C" c; error_pos = pos }
+    end
+  done;
+  match !err with Some e -> Error e | None -> Ok (List.rev !acc)

@@ -1,0 +1,37 @@
+(** Hand-written lexer for the SQL subset.
+
+    Keywords are case-insensitive; identifiers keep their case.  [--]
+    starts a comment running to end of line.  Every token carries its
+    source position for error reporting. *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Kw_create
+  | Kw_table
+  | Kw_cardinality
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_and
+  | Kw_as
+  | Kw_order
+  | Kw_by
+  | Star
+  | Dot
+  | Comma
+  | Semicolon
+  | Equal
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+
+type spanned = { token : token; pos : Ast.position }
+
+type error = { message : string; error_pos : Ast.position }
+
+val token_name : token -> string
+(** Human-readable token description for error messages. *)
+
+val tokenize : string -> (spanned list, error) result

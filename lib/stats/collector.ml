@@ -1,0 +1,59 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Datagen = Blitz_exec.Datagen
+module Table = Blitz_exec.Table
+
+type method_ = Distinct_count | Histogram_overlap
+
+type t = {
+  catalog : Catalog.t;
+  graph : Join_graph.t;
+  column_histograms : (int * string, Histogram.t) Hashtbl.t;
+}
+
+let column_values table col =
+  Array.init (Table.n_rows table) (fun r -> Table.get table ~row:r ~col)
+
+let collect ?buckets ?(method_ = Histogram_overlap) (dataset : Datagen.t) =
+  let n = Catalog.n dataset.Datagen.catalog in
+  let catalog = Datagen.realized_catalog dataset in
+  let column_histograms = Hashtbl.create 32 in
+  let histogram rel col_name =
+    let key = (rel, col_name) in
+    match Hashtbl.find_opt column_histograms key with
+    | Some h -> h
+    | None ->
+      let table = dataset.Datagen.tables.(rel) in
+      let col =
+        match Table.column_index table col_name with
+        | Some c -> c
+        | None -> invalid_arg (Printf.sprintf "Collector: missing column %s" col_name)
+      in
+      let h = Histogram.build ?buckets (column_values table col) in
+      Hashtbl.add column_histograms key h;
+      h
+  in
+  let estimate = match method_ with
+    | Distinct_count -> Selectivity.from_distinct
+    | Histogram_overlap -> Selectivity.from_histograms
+  in
+  let edges =
+    List.map
+      (fun (i, j, _declared) ->
+        let attr = Datagen.edge_attribute i j in
+        let sel = estimate (histogram i attr) (histogram j attr) in
+        (* A zero estimate (disjoint ranges) still needs a positive edge;
+           floor at one match in the cross product. *)
+        let floor_sel = 1.0 /. (Catalog.card catalog i *. Catalog.card catalog j) in
+        (i, j, Float.max sel floor_sel))
+      (Join_graph.edges dataset.Datagen.graph)
+  in
+  { catalog; graph = Join_graph.of_edges ~n edges; column_histograms }
+
+let max_relative_selectivity_error t (dataset : Datagen.t) =
+  List.fold_left
+    (fun acc (i, j, estimated) ->
+      let truth = Datagen.realized_selectivity dataset.Datagen.graph i j in
+      Float.max acc (Float.abs (estimated -. truth) /. truth))
+    0.0
+    (Join_graph.edges t.graph)

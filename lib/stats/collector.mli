@@ -1,0 +1,29 @@
+(** Statistics collection: derive optimizer inputs from stored data.
+
+    Scans a generated dataset and rebuilds the catalog (true row counts)
+    and the join graph (selectivities estimated from per-column
+    histograms) — the path a production optimizer takes, where the paper
+    simply assumes the numbers are available.  Comparing plans produced
+    from collected statistics against plans from the true statistics
+    quantifies the estimation loop's fidelity. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Datagen = Blitz_exec.Datagen
+
+type method_ = Distinct_count | Histogram_overlap
+
+type t = {
+  catalog : Catalog.t;  (** True row counts (counting is exact). *)
+  graph : Join_graph.t;  (** Estimated selectivities. *)
+  column_histograms : (int * string, Histogram.t) Hashtbl.t;
+      (** Per (relation, column) histogram for all join columns. *)
+}
+
+val collect : ?buckets:int -> ?method_:method_ -> Datagen.t -> t
+(** [collect dataset] scans every table once ([method_] defaults to
+    {!Histogram_overlap}). *)
+
+val max_relative_selectivity_error : t -> Datagen.t -> float
+(** Largest relative error of an estimated edge selectivity against the
+    dataset's realized selectivity ([0] when the graph has no edges). *)

@@ -1,0 +1,55 @@
+type bucket = { lo : int; hi : int; count : int; distinct : int }
+
+type t = {
+  total : int;
+  distinct_total : int;
+  lo : int;
+  hi : int;
+  cells : bucket array;
+}
+
+let build ?(buckets = 16) data =
+  if Array.length data = 0 then invalid_arg "Histogram.build: empty data";
+  if buckets < 1 then invalid_arg "Histogram.build: need at least one bucket";
+  let lo = Array.fold_left min data.(0) data in
+  let hi = Array.fold_left max data.(0) data in
+  let span = hi - lo + 1 in
+  let cells_n = min buckets span in
+  let width = (span + cells_n - 1) / cells_n in
+  let counts = Array.make cells_n 0 in
+  let distincts = Array.make cells_n 0 in
+  let seen = Hashtbl.create (2 * Array.length data) in
+  Array.iter
+    (fun v ->
+      let b = min (cells_n - 1) ((v - lo) / width) in
+      counts.(b) <- counts.(b) + 1;
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        distincts.(b) <- distincts.(b) + 1
+      end)
+    data;
+  let cells =
+    Array.init cells_n (fun b ->
+        {
+          lo = lo + (b * width);
+          hi = min hi (lo + ((b + 1) * width) - 1);
+          count = counts.(b);
+          distinct = distincts.(b);
+        })
+  in
+  { total = Array.length data; distinct_total = Hashtbl.length seen; lo; hi; cells }
+
+let total_count t = t.total
+let distinct_count t = t.distinct_total
+let buckets t = Array.to_list t.cells
+let min_value t = t.lo
+let max_value t = t.hi
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>histogram: %d values, %d distinct, range [%d, %d]" t.total
+    t.distinct_total t.lo t.hi;
+  Array.iter
+    (fun (b : bucket) ->
+      Format.fprintf ppf "@,  [%d, %d]: count %d, distinct %d" b.lo b.hi b.count b.distinct)
+    t.cells;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** Equi-width histograms over integer columns.
+
+    The paper assumes cardinalities and selectivities are {e given}
+    ("no sensible model will require complete knowledge of the relations
+    under consideration", Section 3.1) — a real system derives them from
+    data.  This module is that derivation substrate: per-column
+    histograms with exact per-bucket frequencies and distinct counts,
+    from which {!Selectivity} estimates equi-join selectivities. *)
+
+type t
+
+type bucket = {
+  lo : int;  (** Inclusive lower bound. *)
+  hi : int;  (** Inclusive upper bound. *)
+  count : int;  (** Values falling in the bucket. *)
+  distinct : int;  (** Distinct values in the bucket (exact). *)
+}
+
+val build : ?buckets:int -> int array -> t
+(** [build ?buckets data] (default 16 buckets) over the data's min..max
+    range.  Raises [Invalid_argument] on empty data or [buckets < 1].
+    Single-valued data collapses to one bucket. *)
+
+val total_count : t -> int
+val distinct_count : t -> int
+(** Exact number of distinct values overall. *)
+
+val buckets : t -> bucket list
+(** Non-empty representation: buckets cover min..max contiguously. *)
+
+val min_value : t -> int
+val max_value : t -> int
+
+val pp : Format.formatter -> t -> unit

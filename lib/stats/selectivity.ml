@@ -1,0 +1,34 @@
+let from_distinct a b =
+  1.0 /. float_of_int (max (Histogram.distinct_count a) (Histogram.distinct_count b))
+
+(* Portion of bucket [b] overlapping the integer range [lo, hi],
+   assuming uniform spread within the bucket. *)
+let overlap_fraction (b : Histogram.bucket) ~lo ~hi =
+  let o_lo = max b.Histogram.lo lo and o_hi = min b.Histogram.hi hi in
+  if o_lo > o_hi then 0.0
+  else
+    float_of_int (o_hi - o_lo + 1) /. float_of_int (b.Histogram.hi - b.Histogram.lo + 1)
+
+let from_histograms a b =
+  let na = float_of_int (Histogram.total_count a) in
+  let nb = float_of_int (Histogram.total_count b) in
+  (* Match every pair of overlapping buckets; within the overlap, the
+     per-value frequency is count * fraction / distinct-in-overlap. *)
+  let matches = ref 0.0 in
+  List.iter
+    (fun (ba : Histogram.bucket) ->
+      List.iter
+        (fun (bb : Histogram.bucket) ->
+          let lo = max ba.Histogram.lo bb.Histogram.lo in
+          let hi = min ba.Histogram.hi bb.Histogram.hi in
+          if lo <= hi then begin
+            let fa = overlap_fraction ba ~lo ~hi and fb = overlap_fraction bb ~lo ~hi in
+            let ca = float_of_int ba.Histogram.count *. fa in
+            let cb = float_of_int bb.Histogram.count *. fb in
+            let da = Float.max 1.0 (float_of_int ba.Histogram.distinct *. fa) in
+            let db = Float.max 1.0 (float_of_int bb.Histogram.distinct *. fb) in
+            matches := !matches +. (ca *. cb /. Float.max da db)
+          end)
+        (Histogram.buckets b))
+    (Histogram.buckets a);
+  Blitz_util.Float_more.clamp ~lo:0.0 ~hi:1.0 (!matches /. (na *. nb))

@@ -1,0 +1,19 @@
+(** Equi-join selectivity estimation from histograms.
+
+    Two estimators, both standard:
+
+    - {!from_distinct}: the System-R containment rule
+      [sel = 1 / max(ndv_L, ndv_R)] — exact for uniform columns with
+      containment of value sets;
+    - {!from_histograms}: bucket-by-bucket —
+      [sel = sum_b f_L(b) f_R(b) / max(d_L(b), d_R(b)) / (|L| |R|)]
+      over the overlap of the two histograms' ranges, assuming uniform
+      spread within buckets.  Reduces toward {!from_distinct} on uniform
+      data but adapts to skew and disjoint ranges. *)
+
+val from_distinct : Histogram.t -> Histogram.t -> float
+(** Containment-rule estimate.  Always in (0, 1]. *)
+
+val from_histograms : Histogram.t -> Histogram.t -> float
+(** Bucket-overlap estimate.  Returns 0 when the ranges are disjoint;
+    otherwise positive and at most 1. *)

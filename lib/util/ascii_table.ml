@@ -1,0 +1,43 @@
+type align = Left | Right
+
+let default_aligns n = Array.init n (fun i -> if i = 0 then Left else Right)
+
+let render ?aligns ~header rows =
+  let cols = Array.length header in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> cols then
+        invalid_arg (Printf.sprintf "Ascii_table.render: row %d has %d cells, expected %d" i (Array.length row) cols))
+    rows;
+  let aligns = match aligns with Some a -> a | None -> default_aligns cols in
+  if Array.length aligns <> cols then invalid_arg "Ascii_table.render: aligns length mismatch";
+  let widths = Array.map String.length header in
+  Array.iter
+    (fun row -> Array.iteri (fun c cell -> widths.(c) <- max widths.(c) (String.length cell)) row)
+    rows;
+  let buf = Buffer.create 1024 in
+  let pad c cell =
+    let gap = widths.(c) - String.length cell in
+    match aligns.(c) with
+    | Left -> cell ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ cell
+  in
+  let emit_row row =
+    Array.iteri
+      (fun c cell ->
+        if c > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad c cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Array.iteri
+    (fun c _ ->
+      if c > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make widths.(c) '-'))
+    header;
+  Buffer.add_char buf '\n';
+  Array.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)

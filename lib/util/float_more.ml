@@ -1,0 +1,33 @@
+let is_finite x = Float.is_finite x
+
+let approx_equal ?(rel = 1e-9) ?(abs = 1e-12) x y =
+  if x = y then true (* covers equal infinities and exact matches *)
+  else if Float.is_nan x || Float.is_nan y then false
+  else
+    let diff = Float.abs (x -. y) in
+    diff <= abs || diff <= rel *. Float.max (Float.abs x) (Float.abs y)
+
+let log2 x = log x /. log 2.0
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let pow_int x k =
+  if k < 0 then invalid_arg "Float_more.pow_int: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else if k land 1 = 1 then go (acc *. base) (base *. base) (k lsr 1)
+    else go acc (base *. base) (k lsr 1)
+  in
+  go 1.0 x k
+
+let pp_engineering ppf x =
+  if Float.is_nan x then Format.pp_print_string ppf "nan"
+  else if x = Float.infinity then Format.pp_print_string ppf "inf"
+  else if x = Float.neg_infinity then Format.pp_print_string ppf "-inf"
+  else
+    let ax = Float.abs x in
+    if ax >= 1e7 || (ax > 0.0 && ax < 1e-4) then Format.fprintf ppf "%.4g" x
+    else if Float.is_integer x then Format.fprintf ppf "%.0f" x
+    else Format.fprintf ppf "%.4g" x
+
+let to_compact_string x = Format.asprintf "%a" pp_engineering x

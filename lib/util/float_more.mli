@@ -1,0 +1,27 @@
+(** Small floating-point helpers shared across the repository. *)
+
+val approx_equal : ?rel:float -> ?abs:float -> float -> float -> bool
+(** [approx_equal ?rel ?abs x y] holds when [x] and [y] agree to within
+    relative tolerance [rel] (default [1e-9]) or absolute tolerance [abs]
+    (default [1e-12]).  Two infinities of the same sign compare equal. *)
+
+val is_finite : float -> bool
+(** True for ordinary floats; false for infinities and NaN. *)
+
+val log2 : float -> float
+(** Base-2 logarithm. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] forces [x] into [\[lo, hi\]]. *)
+
+val pow_int : float -> int -> float
+(** [pow_int x k] is [x] raised to the non-negative integer power [k] by
+    repeated squaring (exact for small integral inputs, unlike [( ** )]). *)
+
+val pp_engineering : Format.formatter -> float -> unit
+(** Prints a float compactly: integers without a fraction part, large or
+    tiny magnitudes in scientific notation ([2.4e+07]), and everything
+    else with up to four significant decimals.  Used by table dumps. *)
+
+val to_compact_string : float -> string
+(** [to_compact_string x] renders via {!pp_engineering}. *)

@@ -1,0 +1,96 @@
+let solve a b =
+  let n = Array.length b in
+  if Array.length a <> n then invalid_arg "Linfit.solve: dimension mismatch";
+  let m = Array.map Array.copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivoting. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-300 then failwith "Linfit.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let t = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- t
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = m.(row).(col) /. m.(col).(col) in
+      for k = col to n - 1 do
+        m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
+      done;
+      x.(row) <- x.(row) -. (factor *. x.(col))
+    done
+  done;
+  for row = n - 1 downto 0 do
+    let acc = ref x.(row) in
+    for k = row + 1 to n - 1 do
+      acc := !acc -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !acc /. m.(row).(row)
+  done;
+  x
+
+let fit ?weights ~basis ~xs ~ys () =
+  let k = Array.length basis and n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Linfit.fit: xs/ys length mismatch";
+  if n < k then invalid_arg "Linfit.fit: fewer points than basis functions";
+  (match weights with
+  | Some w when Array.length w <> n -> invalid_arg "Linfit.fit: weights length mismatch"
+  | Some _ | None -> ());
+  let weight i = match weights with Some w -> w.(i) | None -> 1.0 in
+  (* Weighted normal equations: (B^T W B) c = B^T W y. *)
+  let bt_b = Array.make_matrix k k 0.0 in
+  let bt_y = Array.make k 0.0 in
+  for i = 0 to n - 1 do
+    let w = weight i in
+    let row = Array.map (fun f -> f xs.(i)) basis in
+    for p = 0 to k - 1 do
+      bt_y.(p) <- bt_y.(p) +. (w *. row.(p) *. ys.(i));
+      for q = 0 to k - 1 do
+        bt_b.(p).(q) <- bt_b.(p).(q) +. (w *. row.(p) *. row.(q))
+      done
+    done
+  done;
+  solve bt_b bt_y
+
+let half_ln2 = 0.5 *. log 2.0
+
+let formula3_terms n =
+  let nf = float_of_int n in
+  let pow3 = Float_more.pow_int 3.0 n in
+  let pow2 = Float_more.pow_int 2.0 n in
+  (pow3, half_ln2 *. nf *. pow2, pow2)
+
+let fit_formula3 ~ns ~times =
+  let xs = Array.map float_of_int ns in
+  let basis =
+    [| (fun x -> let a, _, _ = formula3_terms (int_of_float x) in a);
+       (fun x -> let _, b, _ = formula3_terms (int_of_float x) in b);
+       (fun x -> let _, _, c = formula3_terms (int_of_float x) in c) |]
+  in
+  let weights =
+    Array.map (fun t -> if t > 0.0 then 1.0 /. (t *. t) else 1.0) times
+  in
+  let c = fit ~weights ~basis ~xs ~ys:times () in
+  let clamp v = if v < 0.0 then 0.0 else v in
+  (clamp c.(0), clamp c.(1), clamp c.(2))
+
+let eval_formula3 ~t_loop ~t_cond ~t_subset n =
+  let a, b, c = formula3_terms n in
+  (a *. t_loop) +. (b *. t_cond) +. (c *. t_subset)
+
+let r_squared ~predicted ~observed =
+  let n = Array.length observed in
+  if Array.length predicted <> n || n = 0 then invalid_arg "Linfit.r_squared: bad input";
+  let mean = Stats.mean observed in
+  let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+  for i = 0 to n - 1 do
+    ss_tot := !ss_tot +. ((observed.(i) -. mean) ** 2.0);
+    ss_res := !ss_res +. ((observed.(i) -. predicted.(i)) ** 2.0)
+  done;
+  if !ss_tot = 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot)

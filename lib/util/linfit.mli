@@ -1,0 +1,39 @@
+(** Least-squares fitting of linear models.
+
+    Section 4.3 of the paper fits the measured optimization times to the
+    three-term model of Formula (3),
+
+    {v time(n) = 3^n T_loop  +  (ln 2 / 2) n 2^n T_cond  +  2^n T_subset v}
+
+    which is linear in the unknown constants [T_loop], [T_cond] and
+    [T_subset].  This module solves such fits by normal equations with
+    Gaussian elimination; it is small but general enough for any model
+    that is a linear combination of known basis functions. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves the square linear system [a x = b] by Gaussian
+    elimination with partial pivoting.  Raises [Failure] if the matrix is
+    (numerically) singular.  [a] is not modified. *)
+
+val fit :
+  ?weights:float array -> basis:(float -> float) array -> xs:float array -> ys:float array -> unit -> float array
+(** [fit ~basis ~xs ~ys ()] returns coefficients [c] minimizing
+    [sum_i w_i (ys.(i) - sum_j c.(j) * basis.(j) xs.(i))^2] with unit
+    weights by default.  Raises [Invalid_argument] when there are fewer
+    points than basis functions or the weights length mismatches. *)
+
+val fit_formula3 : ns:int array -> times:float array -> float * float * float
+(** [fit_formula3 ~ns ~times] fits the paper's Formula (3) to measured
+    optimization times (seconds) at relation counts [ns], returning
+    [(t_loop, t_cond, t_subset)] in seconds.  The fit minimizes
+    {e relative} residuals (weights [1/time^2]), matching the paper's
+    log-scale plot where the fit "tracks closely" across five orders of
+    magnitude.  Negative fitted constants are clamped to zero (they can
+    arise when a term is statistically indistinguishable from noise on
+    fast hosts). *)
+
+val eval_formula3 : t_loop:float -> t_cond:float -> t_subset:float -> int -> float
+(** Evaluate Formula (3) at a given [n]. *)
+
+val r_squared : predicted:float array -> observed:float array -> float
+(** Coefficient of determination of a fit. *)

@@ -1,0 +1,19 @@
+let now () = Sys.time ()
+
+let time f =
+  let start = now () in
+  let result = f () in
+  (result, now () -. start)
+
+let time_adaptive ?(min_total = 0.2) ?(min_runs = 3) f =
+  let total = ref 0.0 and runs = ref 0 and batch = ref 1 in
+  while !total < min_total || !runs < min_runs do
+    let start = now () in
+    for _ = 1 to !batch do
+      f ()
+    done;
+    total := !total +. (now () -. start);
+    runs := !runs + !batch;
+    batch := !batch * 2
+  done;
+  !total /. float_of_int !runs

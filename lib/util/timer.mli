@@ -1,0 +1,22 @@
+(** Wall-clock timing of optimizer runs.
+
+    The paper times each configuration by repeating the optimization until
+    at least a fixed amount of wall-clock time has elapsed and dividing
+    (footnote 4: "an average over k executions ... where k is such that
+    kt >= 30 seconds").  {!time_adaptive} reproduces that protocol with a
+    configurable budget so that the full figure sweeps stay tractable. *)
+
+val now : unit -> float
+(** Process CPU seconds ([Sys.time]).  For a single-threaded, CPU-bound
+    optimizer this matches the paper's lightly-loaded-machine wall-clock
+    measurements while being immune to scheduler noise. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] once, returning its result and elapsed seconds. *)
+
+val time_adaptive : ?min_total:float -> ?min_runs:int -> (unit -> unit) -> float
+(** [time_adaptive ?min_total ?min_runs f] repeatedly runs [f] until at
+    least [min_total] seconds (default [0.2]) and [min_runs] runs
+    (default [3]) have accumulated, and returns the mean seconds per
+    run.  The repetition count grows geometrically, as in the paper's
+    measurement protocol. *)

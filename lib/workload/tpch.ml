@@ -1,0 +1,178 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+
+let schema ~scale_factor =
+  if (not (Float.is_finite scale_factor)) || scale_factor <= 0.0 then
+    invalid_arg "Tpch.schema: scale factor must be positive";
+  let sf = scale_factor in
+  [
+    ("region", 5.0);
+    ("nation", 25.0);
+    ("supplier", 10_000.0 *. sf);
+    ("customer", 150_000.0 *. sf);
+    ("part", 200_000.0 *. sf);
+    ("partsupp", 800_000.0 *. sf);
+    ("orders", 1_500_000.0 *. sf);
+    ("lineitem", 6_000_000.0 *. sf);
+  ]
+
+type query = Q2 | Q3 | Q5 | Q7 | Q8 | Q9 | Q10
+
+let all = [ Q2; Q3; Q5; Q7; Q8; Q9; Q10 ]
+
+let name = function
+  | Q2 -> "Q2"
+  | Q3 -> "Q3"
+  | Q5 -> "Q5"
+  | Q7 -> "Q7"
+  | Q8 -> "Q8"
+  | Q9 -> "Q9"
+  | Q10 -> "Q10"
+
+let description = function
+  | Q2 -> "minimum-cost supplier: part/partsupp/supplier snowflaked to region"
+  | Q3 -> "shipping priority: customer/orders/lineitem chain"
+  | Q5 -> "local supplier volume: 6-way snowflake through nation and region"
+  | Q7 -> "volume shipping: nation self-join via supplier and customer"
+  | Q8 -> "national market share: 8-way snowflake, two nation roles"
+  | Q9 -> "product type profit: part/partsupp/lineitem with orders and nation"
+  | Q10 -> "returned items: customer/orders/lineitem with customer's nation"
+
+(* Per query: (binding name, base table, filter factor) and FK edges as
+   (child binding, parent binding).  Filter factors roughly follow the
+   TPC-H predicate selectivities (documented approximations). *)
+let spec = function
+  | Q2 ->
+    ( [
+        ("part", "part", 0.004) (* p_size = k and p_type like '%X' *);
+        ("supplier", "supplier", 1.0);
+        ("partsupp", "partsupp", 1.0);
+        ("nation", "nation", 1.0);
+        ("region", "region", 0.2);
+      ],
+      [
+        ("partsupp", "part");
+        ("partsupp", "supplier");
+        ("supplier", "nation");
+        ("nation", "region");
+      ] )
+  | Q3 ->
+    ( [
+        ("customer", "customer", 0.2) (* one market segment *);
+        ("orders", "orders", 0.48) (* o_orderdate < date *);
+        ("lineitem", "lineitem", 0.54) (* l_shipdate > date *);
+      ],
+      [ ("orders", "customer"); ("lineitem", "orders") ] )
+  | Q5 ->
+    ( [
+        ("customer", "customer", 1.0);
+        ("orders", "orders", 0.152) (* one year *);
+        ("lineitem", "lineitem", 1.0);
+        ("supplier", "supplier", 1.0);
+        ("nation", "nation", 1.0);
+        ("region", "region", 0.2);
+      ],
+      [
+        ("orders", "customer");
+        ("lineitem", "orders");
+        ("lineitem", "supplier");
+        ("supplier", "nation");
+        ("customer", "nation");
+        ("nation", "region");
+      ] )
+  | Q7 ->
+    ( [
+        ("supplier", "supplier", 1.0);
+        ("lineitem", "lineitem", 0.305) (* two shipping years *);
+        ("orders", "orders", 1.0);
+        ("customer", "customer", 1.0);
+        ("n1", "nation", 0.04) (* one named nation *);
+        ("n2", "nation", 0.04);
+      ],
+      [
+        ("lineitem", "supplier");
+        ("lineitem", "orders");
+        ("orders", "customer");
+        ("supplier", "n1");
+        ("customer", "n2");
+      ] )
+  | Q8 ->
+    ( [
+        ("part", "part", 0.00667) (* one p_type *);
+        ("supplier", "supplier", 1.0);
+        ("lineitem", "lineitem", 1.0);
+        ("orders", "orders", 0.305) (* two order years *);
+        ("customer", "customer", 1.0);
+        ("n1", "nation", 1.0);
+        ("n2", "nation", 1.0);
+        ("region", "region", 0.2);
+      ],
+      [
+        ("lineitem", "part");
+        ("lineitem", "supplier");
+        ("lineitem", "orders");
+        ("orders", "customer");
+        ("customer", "n1");
+        ("n1", "region");
+        ("supplier", "n2");
+      ] )
+  | Q9 ->
+    ( [
+        ("part", "part", 0.055) (* p_name like '%green%' *);
+        ("supplier", "supplier", 1.0);
+        ("lineitem", "lineitem", 1.0);
+        ("partsupp", "partsupp", 1.0);
+        ("orders", "orders", 1.0);
+        ("nation", "nation", 1.0);
+      ],
+      [
+        ("lineitem", "part");
+        ("lineitem", "supplier");
+        ("lineitem", "partsupp");
+        ("partsupp", "part");
+        ("partsupp", "supplier");
+        ("lineitem", "orders");
+        ("supplier", "nation");
+      ] )
+  | Q10 ->
+    ( [
+        ("customer", "customer", 1.0);
+        ("orders", "orders", 0.038) (* one quarter *);
+        ("lineitem", "lineitem", 0.247) (* returned flag *);
+        ("nation", "nation", 1.0);
+      ],
+      [ ("orders", "customer"); ("lineitem", "orders"); ("customer", "nation") ] )
+
+let relations q = List.map (fun (binding, _, _) -> binding) (fst (spec q))
+
+let problem ?(scale_factor = 1.0) ?(filtered = true) q =
+  let base = schema ~scale_factor in
+  let base_card table =
+    match List.assoc_opt table base with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Tpch.problem: unknown base table %s" table)
+  in
+  let bindings, fks = spec q in
+  let catalog =
+    Catalog.of_list
+      (List.map
+         (fun (binding, table, factor) ->
+           let filter = if filtered then factor else 1.0 in
+           (binding, Float.max 1.0 (base_card table *. filter)))
+         bindings)
+  in
+  let index binding =
+    match Catalog.index_of_name catalog binding with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Tpch.problem: unknown binding %s" binding)
+  in
+  (* Foreign-key joins: selectivity 1 / |referenced base table| —
+     key-domain size, independent of filters. *)
+  let parent_base binding =
+    let _, table, _ = List.find (fun (b, _, _) -> b = binding) bindings in
+    base_card table
+  in
+  let edges =
+    List.map (fun (child, parent) -> (index child, index parent, 1.0 /. parent_base parent)) fks
+  in
+  (catalog, Join_graph.of_edges ~n:(Catalog.n catalog) edges)

@@ -1,0 +1,45 @@
+(** TPC-H-shaped optimization problems.
+
+    The paper evaluates on synthetic grids; downstream users ask "what
+    does it do on my schema?".  This module provides the classic TPC-H
+    schema (8 tables, foreign-key joins) at a configurable scale factor
+    and the join skeletons of seven representative TPC-H queries, as
+    ready-made [Catalog.t * Join_graph.t] problems.
+
+    Semantics and scope:
+    - base-table cardinalities follow the TPC-H specification as a
+      function of the scale factor;
+    - each foreign-key equi-join gets selectivity [1 / |referenced
+      table|] (key-uniqueness), independent of filters;
+    - with [~filtered:true] (default), per-table factors approximating
+      each query's WHERE-clause selectivities shrink the inputs — these
+      are documented rough figures that shape the optimization problem
+      realistically; this is not a TPC-H benchmark implementation.
+
+    Star/snowflake shapes with tiny dimensions (region: 5 rows, nation:
+    25) are exactly the territory where the paper's thesis bites:
+    optimal plans routinely cross small dimensions. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+
+val schema : scale_factor:float -> (string * float) list
+(** The eight base tables with their cardinalities at the given scale
+    factor.  Raises [Invalid_argument] on non-positive factors. *)
+
+type query = Q2 | Q3 | Q5 | Q7 | Q8 | Q9 | Q10
+
+val all : query list
+val name : query -> string
+(** e.g. ["Q5"]. *)
+
+val description : query -> string
+(** One-line summary of the query's join shape. *)
+
+val relations : query -> string list
+(** FROM-clause binding names, e.g. Q7 joins the nation table twice as
+    ["n1"] / ["n2"]. *)
+
+val problem : ?scale_factor:float -> ?filtered:bool -> query -> Catalog.t * Join_graph.t
+(** The query's optimization problem ([scale_factor] defaults to 1.0,
+    [filtered] to true). *)

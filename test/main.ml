@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "blitz"
+    [
+      ("util", Test_util.suite);
+      ("relset", Test_relset.suite);
+      ("catalog", Test_catalog.suite);
+      ("graph", Test_graph.suite);
+      ("cost", Test_cost.suite);
+      ("plan", Test_plan.suite);
+      ("blitzsplit", Test_blitzsplit.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("orders", Test_orders.suite);
+      ("hypergraph", Test_hypergraph.suite);
+      ("differential", Test_differential.suite);
+      ("core-misc", Test_core_misc.suite);
+      ("threshold", Test_threshold.suite);
+      ("baselines", Test_baselines.suite);
+      ("dpccp", Test_dpccp.suite);
+      ("ikkbz", Test_ikkbz.suite);
+      ("volcano", Test_volcano.suite);
+      ("hybrid", Test_hybrid.suite);
+      ("workload", Test_workload.suite);
+      ("tpch", Test_tpch.suite);
+      ("exec", Test_exec.suite);
+      ("stats", Test_stats.suite);
+      ("sql", Test_sql.suite);
+    ]

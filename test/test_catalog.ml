@@ -1,0 +1,63 @@
+(* Catalog construction, lookup and statistics. *)
+
+module Catalog = Blitz_catalog.Catalog
+
+let check_float = Test_helpers.check_float
+
+let test_of_list () =
+  let c = Catalog.of_list [ ("A", 10.0); ("B", 20.0) ] in
+  Alcotest.(check int) "n" 2 (Catalog.n c);
+  check_float "card A" 10.0 (Catalog.card c 0);
+  check_float "card B" 20.0 (Catalog.card c 1);
+  Alcotest.(check string) "name" "B" (Catalog.name c 1);
+  Alcotest.(check (option int)) "index_of_name hit" (Some 1) (Catalog.index_of_name c "B");
+  Alcotest.(check (option int)) "index_of_name miss" None (Catalog.index_of_name c "Z");
+  Alcotest.(check (array string)) "names" [| "A"; "B" |] (Catalog.names c);
+  Alcotest.(check (array (float 1e-9))) "cards" [| 10.0; 20.0 |] (Catalog.cards c)
+
+let test_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Catalog.of_list: empty catalog") (fun () ->
+      ignore (Catalog.of_list []));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Catalog.of_list: duplicate relation name \"A\"") (fun () ->
+      ignore (Catalog.of_list [ ("A", 1.0); ("A", 2.0) ]));
+  Alcotest.check_raises "non-positive card"
+    (Invalid_argument "Catalog.of_list: relation \"A\" has invalid cardinality 0") (fun () ->
+      ignore (Catalog.of_list [ ("A", 0.0) ]));
+  Alcotest.check_raises "nan card"
+    (Invalid_argument "Catalog.of_list: relation \"A\" has invalid cardinality nan") (fun () ->
+      ignore (Catalog.of_list [ ("A", Float.nan) ]));
+  Alcotest.check_raises "index range" (Invalid_argument "Catalog: relation index 5 outside [0, 2)")
+    (fun () -> ignore (Catalog.card (Catalog.of_list [ ("A", 1.0); ("B", 1.0) ]) 5))
+
+let test_of_cards_naming () =
+  let c = Catalog.of_cards [| 5.0; 6.0; 7.0 |] in
+  Alcotest.(check (array string)) "R-names" [| "R0"; "R1"; "R2" |] (Catalog.names c)
+
+let test_uniform_and_stats () =
+  let c = Catalog.uniform ~n:5 ~card:100.0 in
+  check_float "geomean uniform" 100.0 (Catalog.geometric_mean_card c);
+  check_float "variability uniform" 0.0 (Catalog.variability c);
+  let skewed = Catalog.of_cards [| 10.0; 1000.0 |] in
+  check_float "geomean skewed" 100.0 (Catalog.geometric_mean_card skewed);
+  (* |R_0| = mu^(1-v): 10 = 100^(1-v) => v = 0.5. *)
+  check_float "variability skewed" 0.5 (Catalog.variability skewed)
+
+let prop_geomean_invariant_under_order =
+  QCheck2.Test.make ~count:200 ~name:"geometric mean is order-insensitive"
+    QCheck2.Gen.(array_size (int_range 1 10) (float_range 1.0 1e5))
+    (fun cards ->
+      let c1 = Catalog.of_cards cards in
+      let rev = Array.of_list (List.rev (Array.to_list cards)) in
+      let c2 = Catalog.of_cards rev in
+      Blitz_util.Float_more.approx_equal ~rel:1e-9 (Catalog.geometric_mean_card c1)
+        (Catalog.geometric_mean_card c2))
+
+let suite =
+  [
+    Alcotest.test_case "of_list and lookups" `Quick test_of_list;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "of_cards naming" `Quick test_of_cards_naming;
+    Alcotest.test_case "uniform and statistics" `Quick test_uniform_and_stats;
+    QCheck_alcotest.to_alcotest prop_geomean_invariant_under_order;
+  ]

@@ -1,0 +1,102 @@
+(* Cost models: paper formulas, decomposition invariant, min-of combination. *)
+
+module Cost_model = Blitz_cost.Cost_model
+
+let check_float = Test_helpers.check_float
+
+let test_naive () =
+  let m = Cost_model.naive in
+  check_float "kappa0 = |out|" 1234.0 (Cost_model.kappa m ~out:1234.0 ~lcard:10.0 ~rcard:20.0);
+  check_float "k_prime" 1234.0 (m.Cost_model.k_prime 1234.0);
+  Alcotest.(check bool) "dprime zero" true m.Cost_model.dprime_is_zero
+
+let test_sort_merge () =
+  let m = Cost_model.sort_merge in
+  (* |L|(1+log|L|) + |R|(1+log|R|), appendix. *)
+  let expected l r = (l *. (1.0 +. log l)) +. (r *. (1.0 +. log r)) in
+  check_float "ksm formula" (expected 100.0 50.0)
+    (Cost_model.kappa m ~out:9999.0 ~lcard:100.0 ~rcard:50.0);
+  (* output-independence *)
+  check_float "ksm ignores out" (expected 100.0 50.0)
+    (Cost_model.kappa m ~out:1.0 ~lcard:100.0 ~rcard:50.0);
+  (* sub-1 cardinalities contribute linearly, never negatively *)
+  check_float "tiny operand guard" (0.5 +. 0.25)
+    (Cost_model.kappa m ~out:1.0 ~lcard:0.5 ~rcard:0.25);
+  check_float "aux memo" (100.0 *. (1.0 +. log 100.0)) (m.Cost_model.aux 100.0)
+
+let test_disk_nested_loops () =
+  let m = Cost_model.kdnl in
+  (* 2|out|/K + |L||R|/(K^2 (M-1)) + min/K with K=10, M=100. *)
+  let expected out l r = (2.0 *. out /. 10.0) +. (l *. r /. (100.0 *. 99.0)) +. (Float.min l r /. 10.0) in
+  check_float "kdnl formula" (expected 500.0 100.0 50.0)
+    (Cost_model.kappa m ~out:500.0 ~lcard:100.0 ~rcard:50.0);
+  check_float "kdnl symmetric"
+    (Cost_model.kappa m ~out:500.0 ~lcard:100.0 ~rcard:50.0)
+    (Cost_model.kappa m ~out:500.0 ~lcard:50.0 ~rcard:100.0);
+  let custom = Cost_model.disk_nested_loops ~blocking_factor:5.0 ~memory_blocks:11.0 () in
+  check_float "custom parameters"
+    ((2.0 *. 500.0 /. 5.0) +. (100.0 *. 50.0 /. (25.0 *. 10.0)) +. (50.0 /. 5.0))
+    (Cost_model.kappa custom ~out:500.0 ~lcard:100.0 ~rcard:50.0);
+  Alcotest.check_raises "bad K" (Invalid_argument "Cost_model.disk_nested_loops: K must be positive")
+    (fun () -> ignore (Cost_model.disk_nested_loops ~blocking_factor:0.0 ()));
+  Alcotest.check_raises "bad M" (Invalid_argument "Cost_model.disk_nested_loops: M must exceed 1")
+    (fun () -> ignore (Cost_model.disk_nested_loops ~memory_blocks:1.0 ()))
+
+let test_min_of () =
+  let m = Cost_model.min_of Cost_model.sort_merge Cost_model.kdnl in
+  Alcotest.(check string) "name" "min:ksm,kdnl" m.Cost_model.name;
+  let sm = Cost_model.kappa Cost_model.sort_merge ~out:500.0 ~lcard:100.0 ~rcard:50.0 in
+  let dnl = Cost_model.kappa Cost_model.kdnl ~out:500.0 ~lcard:100.0 ~rcard:50.0 in
+  check_float "min of the two" (Float.min sm dnl)
+    (Cost_model.kappa m ~out:500.0 ~lcard:100.0 ~rcard:50.0)
+
+let test_of_string () =
+  let ok name expected =
+    match Cost_model.of_string name with
+    | Ok m -> Alcotest.(check string) name expected m.Cost_model.name
+    | Error e -> Alcotest.fail e
+  in
+  ok "k0" "k0";
+  ok "naive" "k0";
+  ok "ksm" "ksm";
+  ok "kdnl" "kdnl";
+  ok "min:ksm,kdnl" "min:ksm,kdnl";
+  Alcotest.(check bool) "unknown rejected" true (Result.is_error (Cost_model.of_string "k99"))
+
+(* The decomposition invariant (Section 3.2): kappa = kappa' + kappa''
+   with the aux memo honored — for every model on random inputs. *)
+let prop_decomposition =
+  QCheck2.Test.make ~count:500 ~name:"kappa = kappa' + kappa'' with memoized aux"
+    QCheck2.Gen.(
+      tup4 (oneofl Cost_model.all_paper) (float_range 0.01 1e6) (float_range 0.01 1e6)
+        (float_range 0.01 1e9))
+    (fun (m, lcard, rcard, out) ->
+      let direct = Cost_model.kappa m ~out ~lcard ~rcard in
+      let split =
+        m.Cost_model.k_prime out
+        +. m.Cost_model.k_dprime ~out ~lcard ~rcard ~laux:(m.Cost_model.aux lcard)
+             ~raux:(m.Cost_model.aux rcard)
+      in
+      Blitz_util.Float_more.approx_equal ~rel:1e-12 direct split)
+
+let prop_nonnegative =
+  QCheck2.Test.make ~count:500 ~name:"kappa'' is non-negative (optimizer precondition)"
+    QCheck2.Gen.(
+      tup4 (oneofl Cost_model.all_paper) (float_range 1e-6 1e6) (float_range 1e-6 1e6)
+        (float_range 1e-6 1e9))
+    (fun (m, lcard, rcard, out) ->
+      m.Cost_model.k_dprime ~out ~lcard ~rcard ~laux:(m.Cost_model.aux lcard)
+        ~raux:(m.Cost_model.aux rcard)
+      >= 0.0
+      && m.Cost_model.k_prime out >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "naive model" `Quick test_naive;
+    Alcotest.test_case "sort-merge model" `Quick test_sort_merge;
+    Alcotest.test_case "disk-nested-loops model" `Quick test_disk_nested_loops;
+    Alcotest.test_case "min-of combination" `Quick test_min_of;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    QCheck_alcotest.to_alcotest prop_decomposition;
+    QCheck_alcotest.to_alcotest prop_nonnegative;
+  ]

@@ -1,0 +1,107 @@
+(* DPccp: enumerator counts against the closed-form formulas and the
+   optimizer against the size-driven no-products baseline. *)
+
+open Test_helpers
+module Dpccp = Blitz_baselines.Dpccp
+module Dpsize = Blitz_baselines.Dpsize
+module Topology = Blitz_graph.Topology
+
+let graph_of topo n =
+  let catalog = Catalog.uniform ~n ~card:100.0 in
+  Topology.make topo catalog
+
+(* Closed forms (Moerkotte & Neumann 2006, Table 1). *)
+let chain_ccp n = ((n * n * n) - n) / 6
+let star_ccp n = (n - 1) * (1 lsl (n - 2))
+let clique_ccp n = (Blitz_core.Counters.exact_loop_iters n + 0) / 2
+
+let test_csg_counts () =
+  (* Chains: n(n+1)/2 connected subgraphs; cliques: 2^n - 1;
+     stars: n + (2^(n-1) - 1) (hub subsets plus singletons). *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "chain csg n=%d" n)
+        (n * (n + 1) / 2)
+        (Dpccp.csg_count (graph_of Topology.Chain n));
+      Alcotest.(check int)
+        (Printf.sprintf "clique csg n=%d" n)
+        ((1 lsl n) - 1)
+        (Dpccp.csg_count (graph_of Topology.Clique n)))
+    [ 2; 3; 5; 8; 10 ]
+
+let test_ccp_counts_closed_forms () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "chain ccp n=%d" n)
+        (chain_ccp n)
+        (Dpccp.ccp_count (graph_of Topology.Chain n));
+      Alcotest.(check int)
+        (Printf.sprintf "star ccp n=%d" n)
+        (star_ccp n)
+        (Dpccp.ccp_count (graph_of Topology.Star n));
+      Alcotest.(check int)
+        (Printf.sprintf "clique ccp n=%d" n)
+        (clique_ccp n)
+        (Dpccp.ccp_count (graph_of Topology.Clique n)))
+    [ 2; 3; 5; 8; 10 ]
+
+let test_disconnected_graph () =
+  let catalog = Catalog.of_cards [| 10.0; 20.0; 30.0 |] in
+  let graph = Join_graph.of_edges ~n:3 [ (0, 1, 0.1) ] in
+  let r = Dpccp.optimize Cost_model.naive catalog graph in
+  Alcotest.(check bool) "no plan" true (r.Dpccp.plan = None)
+
+let test_small_chain_plan () =
+  let catalog = Catalog.of_cards [| 100.0; 10.0; 100.0 |] in
+  let graph = Join_graph.of_edges ~n:3 [ (0, 1, 0.01); (1, 2, 0.01) ] in
+  let r = Dpccp.optimize Cost_model.naive catalog graph in
+  match r.Dpccp.plan with
+  | None -> Alcotest.fail "expected a plan"
+  | Some plan ->
+    Alcotest.(check int) "no cartesian joins" 0 (Plan.cartesian_join_count graph plan);
+    Test_helpers.check_float "cost equals reference" r.Dpccp.cost
+      (Plan.cost Cost_model.naive catalog graph plan)
+
+let prop_matches_dpsize_no_products =
+  QCheck2.Test.make ~count:120 ~name:"DPccp optimum = size-driven DP without products"
+    ~print:problem_print (problem_gen ~max_n:9)
+    (fun p ->
+      let a = Dpccp.optimize p.model p.catalog p.graph in
+      let b = Dpsize.optimize ~cartesian:false p.model p.catalog p.graph in
+      (match (a.Dpccp.plan, b.Dpsize.plan) with
+      | None, None -> true
+      | Some _, Some _ -> Blitz_util.Float_more.approx_equal ~rel:1e-6 a.Dpccp.cost b.Dpsize.cost
+      | Some _, None | None, Some _ -> false))
+
+let prop_every_pair_connected =
+  QCheck2.Test.make ~count:100
+    ~name:"every enumerated pair is disjoint, connected, adjacent, and unique"
+    ~print:problem_print (problem_gen ~max_n:8)
+    (fun p ->
+      let ok = ref true in
+      let seen = Hashtbl.create 256 in
+      Dpccp.iter_ccp p.graph (fun s1 s2 ->
+          if not (Relset.disjoint s1 s2) then ok := false;
+          if not (Join_graph.is_connected_subset p.graph s1) then ok := false;
+          if not (Join_graph.is_connected_subset p.graph s2) then ok := false;
+          if not (Join_graph.crosses p.graph s1 s2) then ok := false;
+          let key = (min s1 s2, max s1 s2) in
+          if Hashtbl.mem seen key then ok := false;
+          Hashtbl.add seen key ());
+      (* Completeness: every unordered split of every connected subset
+         into two connected, adjacent halves appears.  dpsize's
+         joins_built counts exactly those splits. *)
+      let b = Dpsize.optimize ~cartesian:false p.model p.catalog p.graph in
+      !ok && Hashtbl.length seen = b.Dpsize.joins_built)
+
+let suite =
+  [
+    Alcotest.test_case "connected-subgraph counts" `Quick test_csg_counts;
+    Alcotest.test_case "ccp counts match closed forms" `Quick test_ccp_counts_closed_forms;
+    Alcotest.test_case "disconnected graphs have no plan" `Quick test_disconnected_graph;
+    Alcotest.test_case "small chain plan" `Quick test_small_chain_plan;
+    QCheck_alcotest.to_alcotest prop_matches_dpsize_no_products;
+    QCheck_alcotest.to_alcotest prop_every_pair_connected;
+  ]

@@ -1,0 +1,75 @@
+(* Shared generators and checkers for the optimizer test suites. *)
+
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Topology = Blitz_graph.Topology
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Rng = Blitz_util.Rng
+
+let float_approx ?(rel = 1e-9) () =
+  Alcotest.testable
+    (fun ppf x -> Format.fprintf ppf "%.12g" x)
+    (fun a b -> Blitz_util.Float_more.approx_equal ~rel a b)
+
+let check_float ?rel msg expected actual =
+  Alcotest.check (float_approx ?rel ()) msg expected actual
+
+(* The paper's running example: A, B, C, D with cardinalities 10, 20,
+   30, 40 (Table 1) and the join graph of Figure 3 with edges AB, AC,
+   BC, AD. *)
+let abcd_catalog = Catalog.of_list [ ("A", 10.0); ("B", 20.0); ("C", 30.0); ("D", 40.0) ]
+
+let figure3_graph ~sab ~sac ~sbc ~sad =
+  Join_graph.of_edges ~n:4 [ (0, 1, sab); (0, 2, sac); (1, 2, sbc); (0, 3, sad) ]
+
+(* Random problem generation for oracle comparisons. *)
+
+let random_catalog rng ~n ~lo ~hi =
+  Catalog.of_cards (Array.init n (fun _ -> Rng.log_uniform rng ~lo ~hi))
+
+let random_graph rng ~n ~edge_prob ~sel_lo ~sel_hi =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.float rng 1.0 < edge_prob then
+        edges := (i, j, Rng.log_uniform rng ~lo:sel_lo ~hi:sel_hi) :: !edges
+    done
+  done;
+  Join_graph.of_edges ~n !edges
+
+type problem = {
+  catalog : Catalog.t;
+  graph : Join_graph.t;
+  model : Cost_model.t;
+  seed : int;
+}
+
+let pp_problem ppf p =
+  Format.fprintf ppf "seed=%d n=%d model=%s edges=%d" p.seed (Catalog.n p.catalog)
+    p.model.Cost_model.name
+    (Join_graph.edge_count p.graph)
+
+(* A generator of complete random optimization problems with n in
+   [2, max_n], random cardinalities, random topology density and any of
+   the three paper cost models. *)
+let problem_gen ~max_n =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let rng = Rng.create ~seed in
+        let n = 2 + Rng.int rng (max_n - 1) in
+        let catalog = random_catalog rng ~n ~lo:1.0 ~hi:1e4 in
+        let edge_prob = Rng.float rng 1.0 in
+        let graph = random_graph rng ~n ~edge_prob ~sel_lo:1e-4 ~sel_hi:1.0 in
+        let model =
+          match Rng.int rng 3 with
+          | 0 -> Cost_model.naive
+          | 1 -> Cost_model.sort_merge
+          | _ -> Cost_model.kdnl
+        in
+        { catalog; graph; model; seed })
+      (int_bound 1_000_000))
+
+let problem_print p = Format.asprintf "%a" pp_problem p

@@ -1,0 +1,122 @@
+(* IKKBZ (IK84/KBZ): the polynomial left-deep optimizer for tree
+   queries, validated against the exponential left-deep DP oracle. *)
+
+open Test_helpers
+module Ikkbz = Blitz_baselines.Ikkbz
+module B = Blitz_baselines
+
+(* Random spanning tree over n relations: node i >= 1 attaches to a
+   uniformly random earlier node. *)
+let random_tree_problem rng ~n =
+  let catalog = random_catalog rng ~n ~lo:1.0 ~hi:1e4 in
+  let edges =
+    List.init (n - 1) (fun k ->
+        let i = k + 1 in
+        (Rng.int rng i, i, Rng.log_uniform rng ~lo:1e-4 ~hi:1.0))
+  in
+  (catalog, Join_graph.of_edges ~n edges)
+
+let test_is_tree () =
+  let chain = Join_graph.of_edges ~n:3 [ (0, 1, 0.5); (1, 2, 0.5) ] in
+  Alcotest.(check bool) "chain is a tree" true (Ikkbz.is_tree chain);
+  let cycle = Join_graph.of_edges ~n:3 [ (0, 1, 0.5); (1, 2, 0.5); (0, 2, 0.5) ] in
+  Alcotest.(check bool) "cycle is not" false (Ikkbz.is_tree cycle);
+  let forest = Join_graph.of_edges ~n:3 [ (0, 1, 0.5) ] in
+  Alcotest.(check bool) "forest is not" false (Ikkbz.is_tree forest);
+  Alcotest.check_raises "cyclic rejected"
+    (Invalid_argument "Ikkbz.optimize: IKKBZ requires a tree join graph (acyclic and connected)")
+    (fun () -> ignore (Ikkbz.optimize (Catalog.uniform ~n:3 ~card:10.0) cycle))
+
+let test_two_relations () =
+  let catalog = Catalog.of_cards [| 100.0; 50.0 |] in
+  let graph = Join_graph.of_edges ~n:2 [ (0, 1, 0.01) ] in
+  let r = Ikkbz.optimize catalog graph in
+  (* C_out = output size = 100 * 50 * 0.01 = 50, either orientation. *)
+  Test_helpers.check_float "cost" 50.0 r.Ikkbz.cost;
+  Alcotest.(check bool) "left-deep" true (Plan.is_left_deep r.Ikkbz.plan)
+
+let test_known_chain () =
+  (* A -- B -- C with cards 100, 10, 100 and strong selectivities:
+     starting from B is best; C_out of (B,A,C) and (B,C,A) are equal by
+     symmetry: |AB| = 10, then |ABC| = 10.  Starting from A:
+     |AB| = 10, |ABC| = 10 -> same cost here; use asymmetric
+     selectivities to force a unique answer. *)
+  let catalog = Catalog.of_cards [| 100.0; 10.0; 100.0 |] in
+  let graph = Join_graph.of_edges ~n:3 [ (0, 1, 0.01); (1, 2, 0.1) ] in
+  let r = Ikkbz.optimize catalog graph in
+  (* Candidate C_out values over the 8 connected orders; optimum joins
+     the selective A-B edge first: 100*10*.01 = 10, then *100*.1 = 100;
+     total 110. *)
+  Test_helpers.check_float "optimal C_out" 110.0 r.Ikkbz.cost;
+  (* The DP agrees. *)
+  let dp = B.Leftdeep.optimize ~policy:B.Leftdeep.Forbidden Cost_model.naive catalog graph in
+  Test_helpers.check_float "DP agrees" dp.B.Leftdeep.cost r.Ikkbz.cost
+
+let test_result_consistency () =
+  let rng = Rng.create ~seed:31 in
+  let catalog, graph = random_tree_problem rng ~n:9 in
+  let r = Ikkbz.optimize catalog graph in
+  Alcotest.(check bool) "valid plan" true (Result.is_ok (Plan.validate ~n:9 r.Ikkbz.plan));
+  Alcotest.(check bool) "left-deep" true (Plan.is_left_deep r.Ikkbz.plan);
+  Alcotest.(check int) "no products" 0 (Plan.cartesian_join_count graph r.Ikkbz.plan);
+  Alcotest.(check int) "order covers all" 9 (List.length r.Ikkbz.order);
+  (* The reported C_out equals the reference kappa_0 costing of the plan. *)
+  Test_helpers.check_float ~rel:1e-9 "cost = Plan.cost under kappa_0"
+    (Plan.cost Cost_model.naive catalog graph r.Ikkbz.plan)
+    r.Ikkbz.cost
+
+let prop_matches_leftdeep_dp =
+  QCheck2.Test.make ~count:200
+    ~name:"IKKBZ = exponential left-deep no-products DP on tree queries (C_out)"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 2 10))
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let catalog, graph = random_tree_problem rng ~n in
+      let kbz = Ikkbz.optimize catalog graph in
+      let dp = B.Leftdeep.optimize ~policy:B.Leftdeep.Forbidden Cost_model.naive catalog graph in
+      if not (Blitz_util.Float_more.approx_equal ~rel:1e-6 kbz.Ikkbz.cost dp.B.Leftdeep.cost) then
+        QCheck2.Test.fail_reportf "IKKBZ %.9g vs DP %.9g" kbz.Ikkbz.cost dp.B.Leftdeep.cost;
+      true)
+
+let prop_order_is_connected_prefix =
+  QCheck2.Test.make ~count:150 ~name:"every prefix of the IKKBZ order is connected"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 2 12))
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let catalog, graph = random_tree_problem rng ~n in
+      let r = Ikkbz.optimize catalog graph in
+      let ok = ref true in
+      let prefix = ref Relset.empty in
+      List.iter
+        (fun rel ->
+          prefix := Relset.add !prefix rel;
+          if not (Join_graph.is_connected_subset graph !prefix) then ok := false)
+        r.Ikkbz.order;
+      !ok && Relset.equal !prefix (Relset.full n))
+
+let prop_polynomial_never_beats_bushy =
+  QCheck2.Test.make ~count:100 ~name:"IKKBZ (left-deep) never beats the bushy optimum"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 2 9))
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let catalog, graph = random_tree_problem rng ~n in
+      let kbz = Ikkbz.optimize catalog graph in
+      let bushy =
+        Blitz_core.Blitzsplit.best_cost
+          (Blitz_core.Blitzsplit.optimize_join Cost_model.naive catalog graph)
+      in
+      kbz.Ikkbz.cost >= bushy *. (1.0 -. 1e-9))
+
+let suite =
+  [
+    Alcotest.test_case "tree detection and rejection" `Quick test_is_tree;
+    Alcotest.test_case "two relations" `Quick test_two_relations;
+    Alcotest.test_case "known chain optimum" `Quick test_known_chain;
+    Alcotest.test_case "result consistency" `Quick test_result_consistency;
+    QCheck_alcotest.to_alcotest prop_matches_leftdeep_dp;
+    QCheck_alcotest.to_alcotest prop_order_is_connected_prefix;
+    QCheck_alcotest.to_alcotest prop_polynomial_never_beats_bushy;
+  ]

@@ -1,0 +1,173 @@
+(* Statistics substrate: histograms, selectivity estimators, collection. *)
+
+open Test_helpers
+module Histogram = Blitz_stats.Histogram
+module Selectivity = Blitz_stats.Selectivity
+module Collector = Blitz_stats.Collector
+module Datagen = Blitz_exec.Datagen
+module Blitzsplit = Blitz_core.Blitzsplit
+
+let check_float = Test_helpers.check_float
+
+let test_histogram_basics () =
+  let h = Histogram.build ~buckets:4 [| 0; 1; 2; 3; 4; 5; 6; 7 |] in
+  Alcotest.(check int) "total" 8 (Histogram.total_count h);
+  Alcotest.(check int) "distinct" 8 (Histogram.distinct_count h);
+  Alcotest.(check int) "min" 0 (Histogram.min_value h);
+  Alcotest.(check int) "max" 7 (Histogram.max_value h);
+  let cells = Histogram.buckets h in
+  Alcotest.(check int) "4 buckets" 4 (List.length cells);
+  List.iter
+    (fun (b : Histogram.bucket) ->
+      Alcotest.(check int) "2 per bucket" 2 b.Histogram.count;
+      Alcotest.(check int) "2 distinct per bucket" 2 b.Histogram.distinct)
+    cells
+
+let test_histogram_duplicates_and_collapse () =
+  let h = Histogram.build ~buckets:8 [| 5; 5; 5; 5 |] in
+  Alcotest.(check int) "single bucket" 1 (List.length (Histogram.buckets h));
+  Alcotest.(check int) "total" 4 (Histogram.total_count h);
+  Alcotest.(check int) "distinct" 1 (Histogram.distinct_count h);
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Histogram.build: empty data")
+    (fun () -> ignore (Histogram.build [||]))
+
+let test_histogram_bucket_cover () =
+  let rng = Rng.create ~seed:77 in
+  let data = Array.init 1000 (fun _ -> Rng.int rng 337) in
+  let h = Histogram.build ~buckets:7 data in
+  let cells = Histogram.buckets h in
+  let sum = List.fold_left (fun acc (b : Histogram.bucket) -> acc + b.Histogram.count) 0 cells in
+  Alcotest.(check int) "counts cover all values" 1000 sum;
+  let rec contiguous = function
+    | (a : Histogram.bucket) :: (b : Histogram.bucket) :: rest ->
+      Alcotest.(check int) "contiguous" (a.Histogram.hi + 1) b.Histogram.lo;
+      contiguous (b :: rest)
+    | [ last ] -> Alcotest.(check int) "ends at max" (Histogram.max_value h) last.Histogram.hi
+    | [] -> ()
+  in
+  contiguous cells
+
+let test_distinct_estimator_uniform () =
+  let rng = Rng.create ~seed:5 in
+  let a = Array.init 5000 (fun _ -> Rng.int rng 100) in
+  let b = Array.init 5000 (fun _ -> Rng.int rng 100) in
+  let sel = Selectivity.from_distinct (Histogram.build a) (Histogram.build b) in
+  (* All 100 values almost surely appear in 5000 draws: sel = 1/100. *)
+  check_float ~rel:1e-9 "containment rule" 0.01 sel
+
+let test_histogram_estimator_uniform () =
+  let rng = Rng.create ~seed:6 in
+  let a = Array.init 5000 (fun _ -> Rng.int rng 50) in
+  let b = Array.init 5000 (fun _ -> Rng.int rng 50) in
+  let sel = Selectivity.from_histograms (Histogram.build a) (Histogram.build b) in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 20%% of 1/50 (got %g)" sel)
+    true
+    (Float.abs (sel -. 0.02) < 0.004)
+
+let test_histogram_estimator_disjoint_ranges () =
+  let a = Histogram.build (Array.init 100 (fun i -> i)) in
+  let b = Histogram.build (Array.init 100 (fun i -> i + 1000)) in
+  check_float "disjoint ranges: zero" 0.0 (Selectivity.from_histograms a b)
+
+let test_histogram_estimator_skew () =
+  (* Column b concentrated on one value that column a contains: the
+     histogram estimator must see far more matches than the containment
+     rule predicts from distinct counts alone. *)
+  let rng = Rng.create ~seed:9 in
+  let a = Array.init 2000 (fun _ -> Rng.int rng 100) in
+  let b = Array.init 2000 (fun i -> if i < 1900 then 7 else Rng.int rng 100) in
+  let ha = Histogram.build ~buckets:100 a and hb = Histogram.build ~buckets:100 b in
+  let est = Selectivity.from_histograms ha hb in
+  (* True selectivity: ~ (1900 matches vs 20 copies of 7 in a) ->
+     roughly 0.0095 (vs 0.01 for uniform-uniform over 100). *)
+  let exact =
+    let count_eq arr v = Array.fold_left (fun acc x -> if x = v then acc + 1 else acc) 0 arr in
+    let matches = ref 0 in
+    Array.iter (fun v -> matches := !matches + count_eq a v) b;
+    float_of_int !matches /. (2000.0 *. 2000.0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "histogram estimate %g within 2x of exact %g" est exact)
+    true
+    (est > exact /. 2.0 && est < exact *. 2.0);
+  let naive = Selectivity.from_distinct ha hb in
+  Alcotest.(check bool)
+    (Printf.sprintf "skew-blind containment rule %g is farther off" naive)
+    true
+    (Float.abs (log (est /. exact)) <= Float.abs (log (naive /. exact)))
+
+let collected_fixture ?(seed = 21) () =
+  let catalog = Catalog.of_list [ ("r", 3000.0); ("s", 2000.0); ("t", 1000.0) ] in
+  let graph = Join_graph.of_edges ~n:3 [ (0, 1, 0.01); (1, 2, 0.002) ] in
+  let rng = Rng.create ~seed in
+  let data = Datagen.generate ~rng catalog graph in
+  (data, catalog, graph)
+
+let test_collector_cardinalities_exact () =
+  let data, _, _ = collected_fixture () in
+  let stats = Collector.collect data in
+  Alcotest.(check int) "n" 3 (Catalog.n stats.Collector.catalog);
+  check_float "exact counts" 3000.0 (Catalog.card stats.Collector.catalog 0);
+  Alcotest.(check int) "edges preserved" 2 (Join_graph.edge_count stats.Collector.graph)
+
+let test_collector_selectivities_close () =
+  let data, _, _ = collected_fixture () in
+  List.iter
+    (fun method_ ->
+      let stats = Collector.collect ~method_ data in
+      let err = Collector.max_relative_selectivity_error stats data in
+      Alcotest.(check bool)
+        (Printf.sprintf "max relative error %.3f below 25%%" err)
+        true (err < 0.25))
+    [ Collector.Distinct_count; Collector.Histogram_overlap ]
+
+let test_collected_stats_drive_good_plans () =
+  let data, _, _ = collected_fixture () in
+  let stats = Collector.collect data in
+  (* Optimize against collected statistics, then cost the plan under the
+     realized truth. *)
+  let r = Blitzsplit.optimize_join Cost_model.kdnl stats.Collector.catalog stats.Collector.graph in
+  let plan = Blitzsplit.best_plan_exn r in
+  let truth_catalog = Datagen.realized_catalog data in
+  let truth_graph = Datagen.realized_graph data in
+  let optimal =
+    Blitzsplit.best_cost (Blitzsplit.optimize_join Cost_model.kdnl truth_catalog truth_graph)
+  in
+  let achieved = Plan.cost Cost_model.kdnl truth_catalog truth_graph plan in
+  Alcotest.(check bool)
+    (Printf.sprintf "plan from estimates within 10%% of optimal (%.4g vs %.4g)" achieved optimal)
+    true
+    (achieved <= optimal *. 1.10)
+
+let prop_uniform_estimation_accuracy =
+  QCheck2.Test.make ~count:30 ~name:"collected selectivities track realized ones on uniform data"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = 2 + Rng.int rng 3 in
+      let cards = Array.init n (fun _ -> float_of_int (800 + Rng.int rng 2000)) in
+      let catalog = Catalog.of_cards cards in
+      let edges = List.init (n - 1) (fun i -> (i, i + 1, Rng.log_uniform rng ~lo:0.002 ~hi:0.2)) in
+      let graph = Join_graph.of_edges ~n edges in
+      let data = Datagen.generate ~rng catalog graph in
+      let stats = Collector.collect data in
+      Collector.max_relative_selectivity_error stats data < 0.35)
+
+let suite =
+  [
+    Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+    Alcotest.test_case "histogram duplicates / collapse" `Quick
+      test_histogram_duplicates_and_collapse;
+    Alcotest.test_case "histogram buckets cover" `Quick test_histogram_bucket_cover;
+    Alcotest.test_case "containment-rule estimator" `Quick test_distinct_estimator_uniform;
+    Alcotest.test_case "histogram estimator on uniform data" `Quick
+      test_histogram_estimator_uniform;
+    Alcotest.test_case "disjoint ranges" `Quick test_histogram_estimator_disjoint_ranges;
+    Alcotest.test_case "histogram estimator under skew" `Quick test_histogram_estimator_skew;
+    Alcotest.test_case "collector: exact cardinalities" `Quick test_collector_cardinalities_exact;
+    Alcotest.test_case "collector: selectivities close" `Quick test_collector_selectivities_close;
+    Alcotest.test_case "collected stats drive near-optimal plans" `Quick
+      test_collected_stats_drive_good_plans;
+    QCheck_alcotest.to_alcotest prop_uniform_estimation_accuracy;
+  ]

@@ -1,0 +1,153 @@
+(* Plan-cost threshold pruning and multi-pass re-optimization (Section 6.4). *)
+
+open Test_helpers
+module Blitzsplit = Blitz_core.Blitzsplit
+module Threshold = Blitz_core.Threshold
+module Counters = Blitz_core.Counters
+
+let check_float = Test_helpers.check_float
+
+let test_threshold_above_optimum_is_exact () =
+  (* Table 1's optimum is 241000; any threshold above that must return
+     the identical plan in a single pass. *)
+  let unconstrained = Blitzsplit.optimize_product Cost_model.naive abcd_catalog in
+  let outcome =
+    Threshold.optimize_product ~threshold:300000.0 Cost_model.naive abcd_catalog
+  in
+  Alcotest.(check int) "single pass" 1 outcome.Threshold.passes;
+  check_float "same cost" (Blitzsplit.best_cost unconstrained)
+    (Blitzsplit.best_cost outcome.Threshold.result);
+  Alcotest.(check bool) "same plan" true
+    (Plan.equal
+       (Blitzsplit.best_plan_exn unconstrained)
+       (Blitzsplit.best_plan_exn outcome.Threshold.result))
+
+let test_threshold_below_optimum_fails_single_pass () =
+  let r = Blitzsplit.optimize_product ~threshold:1000.0 Cost_model.naive abcd_catalog in
+  Alcotest.(check bool) "infeasible" false (Blitzsplit.feasible r);
+  Alcotest.(check bool) "no plan" true (Blitzsplit.best_plan r = None);
+  Alcotest.check_raises "best_plan_exn raises"
+    (Failure "Blitzsplit.best_plan_exn: no plan under the given threshold") (fun () ->
+      ignore (Blitzsplit.best_plan_exn r))
+
+let test_multipass_recovers_optimum () =
+  (* Start far below 241000; growth 10 forces several passes. *)
+  let outcome =
+    Threshold.optimize_product ~growth:10.0 ~threshold:100.0 Cost_model.naive abcd_catalog
+  in
+  Alcotest.(check bool) "multiple passes" true (outcome.Threshold.passes > 1);
+  check_float "optimum recovered" 241000.0 (Blitzsplit.best_cost outcome.Threshold.result);
+  (* 100 * 10^k must first exceed 241000 at k=4 -> 5 passes. *)
+  Alcotest.(check int) "pass count" 5 outcome.Threshold.passes;
+  check_float "final threshold" 1e6 outcome.Threshold.final_threshold
+
+let test_threshold_skips_counted () =
+  let counters = Counters.create () in
+  let _ =
+    Blitzsplit.optimize_product ~counters ~threshold:1000.0 Cost_model.naive abcd_catalog
+  in
+  Alcotest.(check bool) "skips recorded" true (counters.Counters.threshold_skips > 0);
+  Alcotest.(check bool) "infeasible recorded" true (counters.Counters.infeasible > 0)
+
+let test_threshold_reduces_work () =
+  (* With kappa_0 and a threshold, subsets whose output cardinality
+     reaches the threshold never run their split loop: fewer loop
+     iterations than the analytic unconstrained count. *)
+  let n = 10 in
+  let catalog = Catalog.uniform ~n ~card:1000.0 in
+  let counters = Counters.create () in
+  let _ = Blitzsplit.optimize_product ~counters ~threshold:1e12 Cost_model.naive catalog in
+  Alcotest.(check bool) "fewer iterations" true
+    (counters.Counters.loop_iters < Counters.exact_loop_iters n)
+
+let test_invalid_arguments () =
+  Alcotest.check_raises "bad threshold" (Invalid_argument "Blitzsplit: threshold must be positive")
+    (fun () ->
+      ignore (Blitzsplit.optimize_product ~threshold:0.0 Cost_model.naive abcd_catalog));
+  Alcotest.check_raises "bad growth" (Invalid_argument "Threshold: growth must exceed 1")
+    (fun () ->
+      ignore (Threshold.optimize_product ~growth:1.0 ~threshold:10.0 Cost_model.naive abcd_catalog));
+  Alcotest.check_raises "infinite initial"
+    (Invalid_argument "Threshold: initial threshold must be positive and finite") (fun () ->
+      ignore
+        (Threshold.optimize_product ~threshold:Float.infinity Cost_model.naive abcd_catalog))
+
+(* Correctness of threshold search in general: for any problem and any
+   starting threshold, the multi-pass driver returns the unconstrained
+   optimum (Section 6.4's subplan argument, verified empirically). *)
+let prop_multipass_equals_unconstrained =
+  QCheck2.Test.make ~count:120 ~name:"multi-pass threshold search returns the true optimum"
+    ~print:problem_print (problem_gen ~max_n:8)
+    (fun p ->
+      let unconstrained = Blitzsplit.optimize_join p.model p.catalog p.graph in
+      let rng = Rng.create ~seed:(p.seed + 99) in
+      let threshold = Rng.log_uniform rng ~lo:1e-2 ~hi:1e8 in
+      let outcome = Threshold.optimize_join ~threshold p.model p.catalog p.graph in
+      Blitz_util.Float_more.approx_equal ~rel:1e-6
+        (Blitzsplit.best_cost unconstrained)
+        (Blitzsplit.best_cost outcome.Threshold.result))
+
+(* Monotonicity: a feasible single pass at threshold T stays feasible
+   and optimal at any T' > T. *)
+let prop_threshold_monotone =
+  QCheck2.Test.make ~count:100 ~name:"raising a feasible threshold never changes the result"
+    ~print:problem_print (problem_gen ~max_n:7)
+    (fun p ->
+      let unconstrained = Blitzsplit.optimize_join p.model p.catalog p.graph in
+      let opt = Blitzsplit.best_cost unconstrained in
+      let t1 = opt *. 1.5 +. 1.0 in
+      let t2 = opt *. 100.0 +. 1.0 in
+      let r1 = Blitzsplit.optimize_join ~threshold:t1 p.model p.catalog p.graph in
+      let r2 = Blitzsplit.optimize_join ~threshold:t2 p.model p.catalog p.graph in
+      Blitz_util.Float_more.approx_equal ~rel:1e-6 (Blitzsplit.best_cost r1) opt
+      && Blitz_util.Float_more.approx_equal ~rel:1e-6 (Blitzsplit.best_cost r2) opt)
+
+let prop_variant_threshold_drivers_exact =
+  QCheck2.Test.make ~count:50
+    ~name:"threshold drivers for the eq and hyper variants return the unconstrained optimum"
+    ~print:problem_print (problem_gen ~max_n:7)
+    (fun p ->
+      let module Eq = Blitz_core.Blitzsplit_eq in
+      let module Hy = Blitz_core.Blitzsplit_hyper in
+      let module Equivalence = Blitz_graph.Equivalence in
+      let module Hypergraph = Blitz_graph.Hypergraph in
+      let n = Catalog.n p.catalog in
+      let clamped =
+        List.map (fun (i, j, s) -> (i, j, Float.min 1.0 s)) (Join_graph.edges p.graph)
+      in
+      let graph = Join_graph.of_edges ~n clamped in
+      let eq =
+        Equivalence.of_predicates ~n
+          (List.map
+             (fun (i, j, s) ->
+               ((i, Printf.sprintf "c%d_%d" i j), (j, Printf.sprintf "c%d_%d" i j), s))
+             clamped)
+      in
+      let hyper = Hypergraph.of_join_graph graph in
+      let eq_plain = Eq.best_cost (Eq.optimize p.model p.catalog eq) in
+      let eq_thresh =
+        Threshold.optimize_eq ~threshold:1.0 ~growth:1000.0 p.model p.catalog eq
+      in
+      let hy_plain = Hy.best_cost (Hy.optimize p.model p.catalog hyper) in
+      let hy_thresh =
+        Threshold.optimize_hyper ~threshold:1.0 ~growth:1000.0 p.model p.catalog hyper
+      in
+      Blitz_util.Float_more.approx_equal ~rel:1e-6 eq_plain
+        (Eq.best_cost eq_thresh.Threshold.eq_result)
+      && Blitz_util.Float_more.approx_equal ~rel:1e-6 hy_plain
+           (Hy.best_cost hy_thresh.Threshold.hyper_result))
+
+let suite =
+  [
+    Alcotest.test_case "threshold above optimum: exact, one pass" `Quick
+      test_threshold_above_optimum_is_exact;
+    Alcotest.test_case "threshold below optimum: infeasible" `Quick
+      test_threshold_below_optimum_fails_single_pass;
+    Alcotest.test_case "multi-pass recovers the optimum" `Quick test_multipass_recovers_optimum;
+    Alcotest.test_case "skip counters" `Quick test_threshold_skips_counted;
+    Alcotest.test_case "thresholds reduce split-loop work" `Quick test_threshold_reduces_work;
+    Alcotest.test_case "argument validation" `Quick test_invalid_arguments;
+    QCheck_alcotest.to_alcotest prop_multipass_equals_unconstrained;
+    QCheck_alcotest.to_alcotest prop_threshold_monotone;
+    QCheck_alcotest.to_alcotest prop_variant_threshold_drivers_exact;
+  ]

@@ -1,0 +1,110 @@
+(* TPC-H-shaped problems: schema consistency and optimizer behavior on a
+   realistic snowflake schema. *)
+
+module Tpch = Blitz_workload.Tpch
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Blitzsplit = Blitz_core.Blitzsplit
+module Plan = Blitz_plan.Plan
+module B = Blitz_baselines
+
+let check_float = Test_helpers.check_float
+
+let test_schema_scaling () =
+  let sf1 = Tpch.schema ~scale_factor:1.0 in
+  Alcotest.(check int) "eight tables" 8 (List.length sf1);
+  check_float "lineitem at sf 1" 6_000_000.0 (List.assoc "lineitem" sf1);
+  check_float "region fixed" 5.0 (List.assoc "region" sf1);
+  let sf10 = Tpch.schema ~scale_factor:10.0 in
+  check_float "lineitem scales" 60_000_000.0 (List.assoc "lineitem" sf10);
+  check_float "nation does not scale" 25.0 (List.assoc "nation" sf10);
+  Alcotest.check_raises "bad factor" (Invalid_argument "Tpch.schema: scale factor must be positive")
+    (fun () -> ignore (Tpch.schema ~scale_factor:0.0))
+
+let test_queries_well_formed () =
+  List.iter
+    (fun q ->
+      let catalog, graph = Tpch.problem q in
+      Alcotest.(check int)
+        (Tpch.name q ^ " relation count")
+        (List.length (Tpch.relations q))
+        (Catalog.n catalog);
+      Alcotest.(check bool) (Tpch.name q ^ " connected") true (Join_graph.is_connected graph);
+      Alcotest.(check bool)
+        (Tpch.name q ^ " has a description")
+        true
+        (String.length (Tpch.description q) > 10))
+    Tpch.all
+
+let test_q7_self_join () =
+  let catalog, _ = Tpch.problem Tpch.Q7 in
+  (* The nation table appears twice under distinct bindings. *)
+  Alcotest.(check bool) "n1 bound" true (Catalog.index_of_name catalog "n1" <> None);
+  Alcotest.(check bool) "n2 bound" true (Catalog.index_of_name catalog "n2" <> None);
+  (* Both filtered to one nation: 25 * 0.04 = 1 row each. *)
+  (match Catalog.index_of_name catalog "n1" with
+  | Some i -> check_float "n1 filtered to one nation" 1.0 (Catalog.card catalog i)
+  | None -> Alcotest.fail "n1 missing")
+
+let test_filter_toggle () =
+  let filtered, _ = Tpch.problem ~filtered:true Tpch.Q3 in
+  let unfiltered, _ = Tpch.problem ~filtered:false Tpch.Q3 in
+  (match (Catalog.index_of_name filtered "orders", Catalog.index_of_name unfiltered "orders") with
+  | Some i, Some j ->
+    Alcotest.(check bool) "filtering shrinks orders" true
+      (Catalog.card filtered i < Catalog.card unfiltered j)
+  | _ -> Alcotest.fail "orders missing");
+  (* FK selectivity is filter-independent: the key domain is the
+     unfiltered referenced table. *)
+  let _, g1 = Tpch.problem ~filtered:true Tpch.Q3 in
+  let _, g2 = Tpch.problem ~filtered:false Tpch.Q3 in
+  check_float "same FK selectivity" (Join_graph.selectivity g1 0 1) (Join_graph.selectivity g2 0 1)
+
+let test_all_queries_optimize () =
+  List.iter
+    (fun q ->
+      let catalog, graph = Tpch.problem q in
+      let r = Blitzsplit.optimize_join Cost_model.kdnl catalog graph in
+      Alcotest.(check bool) (Tpch.name q ^ " feasible") true (Blitzsplit.feasible r);
+      let plan = Blitzsplit.best_plan_exn r in
+      Alcotest.(check bool)
+        (Tpch.name q ^ " valid plan")
+        true
+        (Result.is_ok (Plan.validate ~n:(Catalog.n catalog) plan));
+      (* Restricted searches never beat the bushy optimum. *)
+      let np = (B.Dpsize.optimize ~cartesian:false Cost_model.kdnl catalog graph).B.Dpsize.cost in
+      let ld = (B.Leftdeep.optimize Cost_model.kdnl catalog graph).B.Leftdeep.cost in
+      Alcotest.(check bool) (Tpch.name q ^ " containment") true
+        (np >= Blitzsplit.best_cost r *. (1.0 -. 1e-9)
+        && ld >= Blitzsplit.best_cost r *. (1.0 -. 1e-9)))
+    Tpch.all
+
+let test_q7_leftdeep_penalty () =
+  (* The demo's headline: on Q7 the left-deep restriction costs several
+     times the bushy optimum. *)
+  let catalog, graph = Tpch.problem Tpch.Q7 in
+  let bushy = Blitzsplit.best_cost (Blitzsplit.optimize_join Cost_model.kdnl catalog graph) in
+  let ld = (B.Leftdeep.optimize Cost_model.kdnl catalog graph).B.Leftdeep.cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "left-deep at least 2x worse (%.3g vs %.3g)" ld bushy)
+    true
+    (ld > 2.0 *. bushy)
+
+let test_scale_factor_monotone () =
+  let cost sf =
+    let catalog, graph = Tpch.problem ~scale_factor:sf Tpch.Q3 in
+    Blitzsplit.best_cost (Blitzsplit.optimize_join Cost_model.naive catalog graph)
+  in
+  Alcotest.(check bool) "cost grows with scale" true (cost 10.0 > cost 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "schema scaling" `Quick test_schema_scaling;
+    Alcotest.test_case "queries well-formed" `Quick test_queries_well_formed;
+    Alcotest.test_case "Q7 nation self-join" `Quick test_q7_self_join;
+    Alcotest.test_case "filter toggle" `Quick test_filter_toggle;
+    Alcotest.test_case "all queries optimize" `Quick test_all_queries_optimize;
+    Alcotest.test_case "Q7 left-deep penalty" `Quick test_q7_leftdeep_penalty;
+    Alcotest.test_case "scale-factor monotonicity" `Quick test_scale_factor_monotone;
+  ]
