@@ -28,6 +28,9 @@ module Binder = Blitz_sql.Binder
 module B = Blitz_baselines
 module Hybrid = Blitz_hybrid.Hybrid
 module Rng = Blitz_util.Rng
+module Guard = Blitz_guard.Guard
+module Budget = Blitz_guard.Budget
+module Degrade = Blitz_guard.Degrade
 
 (* ---- shared converters ---- *)
 
@@ -167,15 +170,73 @@ let optimize_cmd =
       & info [ "hybrid" ]
           ~doc:"Use the Section 7 hybrid (DP windows inside randomized search) instead of                 exhaustive blitzsplit — required beyond the 24-relation DP-table cap, useful                 sooner.")
   in
+  let degrade_arg =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:"Use the resilient driver: try exact search first, degrade through thresholded, \
+                hybrid, IKKBZ and greedy tiers as budgets bite, and report the provenance of \
+                the winning plan.  Implied by --deadline-ms and --max-table-mb.")
+  in
+  let deadline_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock budget in milliseconds.  The exact search is interrupted when it \
+                expires and a cheaper tier supplies the plan (implies --degrade).")
+  in
+  let max_table_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-table-mb" ] ~docv:"MB"
+          ~doc:"Memory ceiling for the DP table in mebibytes, checked before allocation.  \
+                Queries whose table would not fit skip straight to table-free tiers \
+                (implies --degrade).")
+  in
   let physical_arg =
     Arg.(
       value & flag
       & info [ "physical" ]
           ~doc:"Optimize with interesting sort orders (Section 6.5 extension): print a                 physical plan with sorts, merge joins and nested loops.  Honors the                 query's ORDER BY.")
   in
-  let run problem model threshold growth dump_table annotate execute seed physical hybrid =
+  let run problem model threshold growth dump_table annotate execute seed physical hybrid degrade
+      deadline_ms max_table_mb =
     let names = Catalog.names problem.catalog in
-    if hybrid then begin
+    (* Any budget flag implies the resilient driver: a deadline or memory
+       ceiling is only enforceable when degradation is allowed. *)
+    if degrade || deadline_ms <> None || max_table_mb <> None then begin
+      let budget =
+        match
+          Budget.create ?deadline_ms
+            ?max_table_bytes:(Option.map (fun mb -> mb * 1024 * 1024) max_table_mb)
+            ()
+        with
+        | budget -> budget
+        | exception Invalid_argument msg ->
+          Printf.eprintf "blitz: %s\n" msg;
+          exit 1
+      in
+      match Guard.optimize ~budget ~seed model problem.catalog problem.graph with
+      | Error e ->
+        Printf.eprintf "blitz: %s\n" (Guard.error_message e);
+        exit 1
+      | Ok o ->
+        let p = o.Guard.provenance in
+        Printf.printf "query:      %s\n" problem.label;
+        Printf.printf "model:      %s (guarded driver)\n" model.Cost_model.name;
+        Printf.printf "plan:       %s\n" (Plan.to_compact_string ~names o.Guard.plan);
+        Printf.printf "cost:       %g%s\n" o.Guard.cost
+          (if p.Degrade.winner = Degrade.Exact then "" else " (not guaranteed optimal)");
+        Printf.printf "tier:       %s\n" (Degrade.tier_name p.Degrade.winner);
+        Printf.printf "time:       %.4fs\n" (p.Degrade.total_ms /. 1000.0);
+        Printf.printf "provenance:\n";
+        List.iter
+          (fun a -> Format.printf "  %a@." Degrade.pp_attempt a)
+          p.Degrade.attempts
+    end
+    else if hybrid then begin
       let rng = Rng.create ~seed in
       let t0 = Sys.time () in
       let (plan, cost), stats = Hybrid.optimize ~rng model problem.catalog problem.graph in
@@ -269,7 +330,8 @@ let optimize_cmd =
   let term =
     Term.(
       const run $ problem_term $ model_arg $ threshold_arg $ growth_arg $ dump_table_arg
-      $ annotate_arg $ execute_arg $ seed_arg $ physical_arg $ hybrid_arg)
+      $ annotate_arg $ execute_arg $ seed_arg $ physical_arg $ hybrid_arg $ degrade_arg
+      $ deadline_ms_arg $ max_table_mb_arg)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a join query with the blitzsplit algorithm")

@@ -6,31 +6,54 @@ type t = {
 
 let max_relations = 62 (* Relset.max_width; kept literal to avoid a dependency cycle *)
 
-let of_list entries =
-  let len = List.length entries in
-  if len = 0 then invalid_arg "Catalog.of_list: empty catalog";
-  if len > max_relations then
-    invalid_arg
-      (Printf.sprintf "Catalog.of_list: %d relations exceed the %d-bit set width" len
-         max_relations);
-  let names = Array.make len "" and cards = Array.make len 0.0 in
-  let by_name = Hashtbl.create (2 * len) in
-  List.iteri
-    (fun i (nm, cd) ->
-      if nm = "" then invalid_arg "Catalog.of_list: empty relation name";
-      if Hashtbl.mem by_name nm then
-        invalid_arg (Printf.sprintf "Catalog.of_list: duplicate relation name %S" nm);
-      if not (Float.is_finite cd) || cd <= 0.0 then
-        invalid_arg
-          (Printf.sprintf "Catalog.of_list: relation %S has invalid cardinality %g" nm cd);
-      names.(i) <- nm;
-      cards.(i) <- cd;
-      Hashtbl.add by_name nm i)
-    entries;
-  { names; cards; by_name }
+type error =
+  | Empty_catalog
+  | Too_many_relations of int
+  | Empty_relation_name of int
+  | Duplicate_relation_name of string
+  | Bad_cardinality of { name : string; card : float }
 
-let of_cards cards =
-  of_list (Array.to_list (Array.mapi (fun i c -> (Printf.sprintf "R%d" i, c)) cards))
+let error_message =
+  let fmt x = Blitz_util.Err.format ~scope:"Catalog.of_list" x in
+  function
+  | Empty_catalog -> fmt "empty catalog"
+  | Too_many_relations len -> fmt "%d relations exceed the %d-bit set width" len max_relations
+  | Empty_relation_name _ -> fmt "empty relation name"
+  | Duplicate_relation_name nm -> fmt "duplicate relation name %S" nm
+  | Bad_cardinality { name; card } -> fmt "relation %S has invalid cardinality %g" name card
+
+let pp_error ppf e = Format.pp_print_string ppf (error_message e)
+
+let of_list_result entries =
+  let len = List.length entries in
+  if len = 0 then Error Empty_catalog
+  else if len > max_relations then Error (Too_many_relations len)
+  else begin
+    let names = Array.make len "" and cards = Array.make len 0.0 in
+    let by_name = Hashtbl.create (2 * len) in
+    let rec fill i = function
+      | [] -> Ok { names; cards; by_name }
+      | (nm, cd) :: rest ->
+        if nm = "" then Error (Empty_relation_name i)
+        else if Hashtbl.mem by_name nm then Error (Duplicate_relation_name nm)
+        else if not (Float.is_finite cd) || cd <= 0.0 then
+          Error (Bad_cardinality { name = nm; card = cd })
+        else begin
+          names.(i) <- nm;
+          cards.(i) <- cd;
+          Hashtbl.add by_name nm i;
+          fill (i + 1) rest
+        end
+    in
+    fill 0 entries
+  end
+
+let of_list entries = Blitz_util.Err.get_with ~to_message:error_message (of_list_result entries)
+
+let of_cards_result cards =
+  of_list_result (Array.to_list (Array.mapi (fun i c -> (Printf.sprintf "R%d" i, c)) cards))
+
+let of_cards cards = Blitz_util.Err.get_with ~to_message:error_message (of_cards_result cards)
 
 let uniform ~n ~card = of_cards (Array.make n card)
 

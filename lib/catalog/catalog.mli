@@ -11,6 +11,35 @@
 type t
 (** Immutable catalog of [n] relations. *)
 
+(** {1 Construction}
+
+    The [_result] constructors are the primary, non-raising entry
+    points: malformed statistics (the kind a production system receives
+    from the outside world) come back as a typed {!error}.  The raising
+    forms remain for internal callers whose inputs are invariants, and
+    raise [Invalid_argument] with exactly {!error_message}. *)
+
+type error =
+  | Empty_catalog
+  | Too_many_relations of int  (** More relations than the bitset width allows. *)
+  | Empty_relation_name of int  (** Index of the offending entry. *)
+  | Duplicate_relation_name of string
+  | Bad_cardinality of { name : string; card : float }
+      (** NaN, infinite, zero or negative cardinality. *)
+
+val error_message : error -> string
+(** Human-readable rendering, ["Catalog.of_list: <detail>"]. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val of_list_result : (string * float) list -> (t, error) result
+(** [of_list_result [(name, card); ...]] builds a catalog; indexes follow
+    list order.  Reports the first problem found as a typed error. *)
+
+val of_cards_result : float array -> (t, error) result
+(** Like {!of_list_result}, naming relations ["R0"], ["R1"], ... like
+    the paper's appendix. *)
+
 val of_list : (string * float) list -> t
 (** [of_list [(name, card); ...]] builds a catalog; indexes follow list
     order.  Raises [Invalid_argument] on duplicate names, empty input,

@@ -42,7 +42,16 @@ let compute_properties_product (tbl : Dp_table.t) (model : Cost_model.t) s =
   tbl.card.(s) <- c;
   tbl.aux.(s) <- model.aux c
 
-let run ~graph_opt ?counters ?(threshold = Float.infinity) model catalog =
+exception Interrupted
+
+(* How often the cancellation probe fires: every [probe_mask + 1] subsets.
+   Subsets near the top of the lattice carry split loops of up to [2^(n-1)]
+   iterations each, so a 64-subset stride keeps the worst-case overshoot
+   past a deadline small while the probe itself ([2^n / 64] clock reads)
+   stays invisible next to the [O(3^n)] loop. *)
+let probe_mask = 63
+
+let run ~graph_opt ?counters ?(threshold = Float.infinity) ?interrupt model catalog =
   if threshold <= 0.0 then invalid_arg "Blitzsplit: threshold must be positive";
   let n = Catalog.n catalog in
   let graph =
@@ -59,10 +68,16 @@ let run ~graph_opt ?counters ?(threshold = Float.infinity) model catalog =
   let tbl = Dp_table.create n in
   Split_loop.init_singletons tbl model catalog;
   let last = (1 lsl n) - 1 in
+  let probe =
+    match interrupt with
+    | None -> fun _ -> ()
+    | Some stop -> fun s -> if s land probe_mask = 0 && stop () then raise Interrupted
+  in
   (match graph_opt with
   | Some _ ->
     for s = 3 to last do
       if s land (s - 1) <> 0 then begin
+        probe s;
         compute_properties_join tbl model graph s;
         Split_loop.find_best_split tbl model ctr ~threshold s
       end
@@ -70,17 +85,18 @@ let run ~graph_opt ?counters ?(threshold = Float.infinity) model catalog =
   | None ->
     for s = 3 to last do
       if s land (s - 1) <> 0 then begin
+        probe s;
         compute_properties_product tbl model s;
         Split_loop.find_best_split tbl model ctr ~threshold s
       end
     done);
   { table = tbl; counters = ctr; catalog; graph; model; threshold }
 
-let optimize_join ?counters ?threshold model catalog graph =
-  run ~graph_opt:(Some graph) ?counters ?threshold model catalog
+let optimize_join ?counters ?threshold ?interrupt model catalog graph =
+  run ~graph_opt:(Some graph) ?counters ?threshold ?interrupt model catalog
 
-let optimize_product ?counters ?threshold model catalog =
-  run ~graph_opt:None ?counters ?threshold model catalog
+let optimize_product ?counters ?threshold ?interrupt model catalog =
+  run ~graph_opt:None ?counters ?threshold ?interrupt model catalog
 
 let full_set t = Dp_table.full_set t.table
 

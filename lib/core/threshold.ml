@@ -4,57 +4,53 @@ module Cost_model = Blitz_cost.Cost_model
 
 type outcome = { result : Blitzsplit.t; passes : int; final_threshold : float }
 
-let drive ?counters ?(growth = 1e4) ?(max_passes = 16) ~threshold run =
+(* One driver serves every optimizer variant; only the feasibility probe
+   differs.  [passes] counts optimization passes actually run — each
+   thresholded attempt plus, when all attempts fail (or the growing
+   threshold overflows to infinity), the forced unthresholded rescue
+   pass, which always concludes the sequence with an answer. *)
+let drive_generic ?(growth = 1e4) ?(max_passes = 16) ~threshold ~feasible run =
   if threshold <= 0.0 || not (Float.is_finite threshold) then
     invalid_arg "Threshold: initial threshold must be positive and finite";
   if growth <= 1.0 then invalid_arg "Threshold: growth must exceed 1";
   if max_passes < 1 then invalid_arg "Threshold: max_passes must be positive";
-  let counters = match counters with Some c -> c | None -> Counters.create () in
-  let rec go pass threshold =
-    if pass > max_passes || not (Float.is_finite threshold) then begin
-      let result = run ~counters ~threshold:Float.infinity in
-      { result; passes = pass; final_threshold = Float.infinity }
+  let rec go passes_run threshold =
+    if passes_run >= max_passes || not (Float.is_finite threshold) then begin
+      (* Rescue pass: unthresholded, cannot fail. *)
+      let result = run ~threshold:Float.infinity in
+      (result, passes_run + 1, Float.infinity)
     end
     else begin
-      let result = run ~counters ~threshold in
-      if Blitzsplit.feasible result then { result; passes = pass; final_threshold = threshold }
-      else go (pass + 1) (threshold *. growth)
+      let result = run ~threshold in
+      if feasible result then (result, passes_run + 1, threshold)
+      else go (passes_run + 1) (threshold *. growth)
     end
   in
-  go 1 threshold
+  go 0 threshold
 
-let optimize_join ?counters ?growth ?max_passes ~threshold model catalog graph =
-  drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
-      Blitzsplit.optimize_join ~counters ~threshold model catalog graph)
-
-let optimize_product ?counters ?growth ?max_passes ~threshold model catalog =
-  drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
-      Blitzsplit.optimize_product ~counters ~threshold model catalog)
-
-(* The variant optimizers share the split loop, so the same generic
-   driver applies; only the feasibility probe differs. *)
-let drive_generic ?counters ?(growth = 1e4) ?(max_passes = 16) ~threshold ~feasible run =
-  if threshold <= 0.0 || not (Float.is_finite threshold) then
-    invalid_arg "Threshold: initial threshold must be positive and finite";
-  if growth <= 1.0 then invalid_arg "Threshold: growth must exceed 1";
-  if max_passes < 1 then invalid_arg "Threshold: max_passes must be positive";
+let drive ?counters ?growth ?max_passes ~threshold run =
   let counters = match counters with Some c -> c | None -> Counters.create () in
-  let rec go pass threshold =
-    if pass > max_passes || not (Float.is_finite threshold) then
-      (run ~counters ~threshold:Float.infinity, pass, Float.infinity)
-    else begin
-      let result = run ~counters ~threshold in
-      if feasible result then (result, pass, threshold) else go (pass + 1) (threshold *. growth)
-    end
+  let result, passes, final_threshold =
+    drive_generic ?growth ?max_passes ~threshold ~feasible:Blitzsplit.feasible
+      (fun ~threshold -> run ~counters ~threshold)
   in
-  go 1 threshold
+  { result; passes; final_threshold }
+
+let optimize_join ?counters ?growth ?max_passes ?interrupt ~threshold model catalog graph =
+  drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
+      Blitzsplit.optimize_join ~counters ~threshold ?interrupt model catalog graph)
+
+let optimize_product ?counters ?growth ?max_passes ?interrupt ~threshold model catalog =
+  drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
+      Blitzsplit.optimize_product ~counters ~threshold ?interrupt model catalog)
 
 type eq_outcome = { eq_result : Blitzsplit_eq.t; eq_passes : int; eq_final_threshold : float }
 
 let optimize_eq ?counters ?growth ?max_passes ~threshold model catalog equivalence =
+  let counters = match counters with Some c -> c | None -> Counters.create () in
   let eq_result, eq_passes, eq_final_threshold =
-    drive_generic ?counters ?growth ?max_passes ~threshold ~feasible:Blitzsplit_eq.feasible
-      (fun ~counters ~threshold -> Blitzsplit_eq.optimize ~counters ~threshold model catalog equivalence)
+    drive_generic ?growth ?max_passes ~threshold ~feasible:Blitzsplit_eq.feasible
+      (fun ~threshold -> Blitzsplit_eq.optimize ~counters ~threshold model catalog equivalence)
   in
   { eq_result; eq_passes; eq_final_threshold }
 
@@ -65,9 +61,9 @@ type hyper_outcome = {
 }
 
 let optimize_hyper ?counters ?growth ?max_passes ~threshold model catalog hypergraph =
+  let counters = match counters with Some c -> c | None -> Counters.create () in
   let hyper_result, hyper_passes, hyper_final_threshold =
-    drive_generic ?counters ?growth ?max_passes ~threshold ~feasible:Blitzsplit_hyper.feasible
-      (fun ~counters ~threshold ->
-        Blitzsplit_hyper.optimize ~counters ~threshold model catalog hypergraph)
+    drive_generic ?growth ?max_passes ~threshold ~feasible:Blitzsplit_hyper.feasible
+      (fun ~threshold -> Blitzsplit_hyper.optimize ~counters ~threshold model catalog hypergraph)
   in
   { hyper_result; hyper_passes; hyper_final_threshold }

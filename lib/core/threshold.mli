@@ -19,16 +19,23 @@ module Cost_model = Blitz_cost.Cost_model
 
 type outcome = {
   result : Blitzsplit.t;  (** The final (successful) pass. *)
-  passes : int;  (** Total optimization passes run. *)
+  passes : int;
+      (** Optimization passes actually run, each counted exactly once:
+          every thresholded attempt plus the forced unthresholded rescue
+          pass when all attempts failed (so with [max_passes = m] the
+          worst case is [m + 1], and [passes] always equals the number of
+          times the underlying optimizer executed — the same count the
+          shared {!Counters.t} accumulates in its [passes] field). *)
   final_threshold : float;
       (** Threshold of the successful pass ([infinity] when the fallback
-          unthresholded pass was needed). *)
+          unthresholded rescue pass was needed). *)
 }
 
 val optimize_join :
   ?counters:Counters.t ->
   ?growth:float ->
   ?max_passes:int ->
+  ?interrupt:(unit -> bool) ->
   threshold:float ->
   Cost_model.t ->
   Catalog.t ->
@@ -38,14 +45,17 @@ val optimize_join :
     the given initial plan-cost threshold; on failure the threshold is
     multiplied by [growth] (default [1e4]) and the optimization rerun, up
     to [max_passes] (default 16) thresholded passes, after which a final
-    unthresholded pass guarantees an answer.  [counters] accumulates over
-    all passes.  Raises [Invalid_argument] for non-positive thresholds or
-    [growth <= 1]. *)
+    unthresholded rescue pass guarantees an answer.  [counters]
+    accumulates over all passes.  [interrupt] is forwarded to every
+    underlying pass; when it fires, {!Blitzsplit.Interrupted} propagates
+    out of the driver.  Raises [Invalid_argument] for non-positive
+    thresholds or [growth <= 1]. *)
 
 val optimize_product :
   ?counters:Counters.t ->
   ?growth:float ->
   ?max_passes:int ->
+  ?interrupt:(unit -> bool) ->
   threshold:float ->
   Cost_model.t ->
   Catalog.t ->

@@ -1,0 +1,50 @@
+type t = {
+  deadline_ms : float option;
+  max_table_bytes : int option;
+  mutable armed_at : float;  (* Unix.gettimeofday at the last [start]. *)
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let create ?deadline_ms ?max_table_bytes () =
+  (match deadline_ms with
+  | Some d when not (Float.is_finite d) || d <= 0.0 ->
+    invalid_arg (Blitz_util.Err.format ~scope:"Budget.create" "deadline %g ms is not positive" d)
+  | _ -> ());
+  (match max_table_bytes with
+  | Some b when b <= 0 ->
+    invalid_arg (Blitz_util.Err.format ~scope:"Budget.create" "memory ceiling %d B is not positive" b)
+  | _ -> ());
+  { deadline_ms; max_table_bytes; armed_at = now_ms () }
+
+let unlimited () = create ()
+
+let start t = t.armed_at <- now_ms ()
+
+let deadline_ms t = t.deadline_ms
+
+let max_table_bytes t = t.max_table_bytes
+
+let elapsed_ms t = now_ms () -. t.armed_at
+
+let remaining_ms t =
+  match t.deadline_ms with None -> Float.infinity | Some d -> d -. elapsed_ms t
+
+let expired t = match t.deadline_ms with None -> false | Some _ -> remaining_ms t <= 0.0
+
+let interrupt t () = expired t
+
+(* The DP table is a struct of five flat arrays (card, cost, best_lhs,
+   pi_fan, aux) of 2^n 8-byte slots — 40 * 2^n bytes, the same shape as
+   the paper's 16-byte rows, widened by the fan and aux columns.  The
+   estimate is computed BEFORE allocation so an oversized query is
+   rejected instead of taking down the process. *)
+let bytes_per_slot = 40
+
+let table_bytes ~n =
+  if n < 1 then invalid_arg "Budget.table_bytes: n must be positive"
+  else if n >= 50 then max_int (* 40 * 2^50 already overflows any ceiling we accept *)
+  else bytes_per_slot * (1 lsl n)
+
+let admits_table t ~n =
+  match t.max_table_bytes with None -> true | Some limit -> table_bytes ~n <= limit

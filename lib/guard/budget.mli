@@ -1,0 +1,50 @@
+(** Resource budgets for one optimization: a wall-clock deadline and a
+    memory ceiling on the [O(2^n)] DP table.
+
+    The deadline is enforced through a cheap cancellation probe
+    ({!interrupt}) that the core optimizers poll between subsets; the
+    memory ceiling is enforced {e before} allocation by estimating the
+    table footprint ({!table_bytes}), so an oversized query degrades to
+    a table-free algorithm instead of exhausting the heap.  A budget is
+    armed (its clock started) at {!create} and re-armed with {!start};
+    the guard driver re-arms once on entry so every tier draws from the
+    same allowance. *)
+
+type t
+
+val create : ?deadline_ms:float -> ?max_table_bytes:int -> unit -> t
+(** Omitted components are unlimited.  Raises [Invalid_argument] on a
+    non-positive deadline or ceiling. *)
+
+val unlimited : unit -> t
+
+val start : t -> unit
+(** (Re-)arm the deadline clock at the current time. *)
+
+val deadline_ms : t -> float option
+val max_table_bytes : t -> int option
+
+val elapsed_ms : t -> float
+(** Wall-clock milliseconds since the budget was last armed. *)
+
+val remaining_ms : t -> float
+(** [infinity] when no deadline was set. *)
+
+val expired : t -> bool
+
+val interrupt : t -> unit -> bool
+(** [interrupt t] is the cancellation probe to hand to
+    [Blitzsplit.optimize_join ~interrupt] and friends: a closure
+    returning [true] once the deadline has passed.  One
+    [Unix.gettimeofday] call per poll; the optimizers already rate-limit
+    polling (every 64 subsets), so no further caching is needed. *)
+
+val table_bytes : n:int -> int
+(** Estimated footprint of the blitzsplit DP table for [n] relations:
+    [40 * 2^n] bytes (five 8-byte columns per subset — the paper's
+    16-byte rows plus the fan and cost-model-memo columns).  Saturates
+    at [max_int] for [n >= 50]. *)
+
+val admits_table : t -> n:int -> bool
+(** Whether the table for [n] relations fits under the ceiling (always
+    true when no ceiling was set). *)

@@ -1,0 +1,171 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Blitzsplit = Blitz_core.Blitzsplit
+module Threshold = Blitz_core.Threshold
+module Dp_table = Blitz_core.Dp_table
+module Hybrid = Blitz_hybrid.Hybrid
+module B = Blitz_baselines
+module Rng = Blitz_util.Rng
+
+type tier = Exact | Thresholded | Hybrid_windows | Ikkbz | Greedy
+
+let tier_name = function
+  | Exact -> "exact"
+  | Thresholded -> "thresholded"
+  | Hybrid_windows -> "hybrid"
+  | Ikkbz -> "ikkbz"
+  | Greedy -> "greedy"
+
+let default_cascade = [ Exact; Thresholded; Hybrid_windows; Ikkbz; Greedy ]
+
+type skip_reason =
+  | Too_large of { n : int; limit : int }
+  | Memory of { needed_bytes : int; limit_bytes : int }
+  | Deadline_expired
+  | Not_applicable of string
+
+let skip_message = function
+  | Too_large { n; limit } -> Printf.sprintf "%d relations exceed the %d-relation DP table" n limit
+  | Memory { needed_bytes; limit_bytes } ->
+    Printf.sprintf "DP table needs %d B, ceiling is %d B" needed_bytes limit_bytes
+  | Deadline_expired -> "deadline expired"
+  | Not_applicable why -> Printf.sprintf "not applicable: %s" why
+
+type failure = Deadline | No_finite_plan
+
+let failure_message = function
+  | Deadline -> "deadline"
+  | No_finite_plan -> "no finite-cost plan"
+
+type status = Produced of float | Aborted of failure | Skipped of skip_reason
+
+type attempt = { tier : tier; status : status; elapsed_ms : float }
+
+type provenance = {
+  winner : tier;
+  winner_cost : float;
+  attempts : attempt list;  (** In cascade order, up to and including the winner. *)
+  total_ms : float;
+}
+
+let pp_status ppf = function
+  | Produced cost -> Format.fprintf ppf "produced plan (cost %g)" cost
+  | Aborted f -> Format.fprintf ppf "aborted (%s)" (failure_message f)
+  | Skipped r -> Format.fprintf ppf "skipped (%s)" (skip_message r)
+
+let pp_attempt ppf a =
+  match a.status with
+  | Skipped _ -> Format.fprintf ppf "%s: %a" (tier_name a.tier) pp_status a.status
+  | Produced _ -> Format.fprintf ppf "%s: %a in %.1fms" (tier_name a.tier) pp_status a.status a.elapsed_ms
+  | Aborted _ -> Format.fprintf ppf "%s: %a after %.1fms" (tier_name a.tier) pp_status a.status a.elapsed_ms
+
+let pp_provenance ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp_attempt ppf a)
+    p.attempts;
+  Format.fprintf ppf "@]"
+
+(* A tier is skipped — never attempted — when a precondition already
+   rules it out: the [2^n] table cannot exist (size or memory ceiling),
+   the algorithm does not apply (IKKBZ needs a tree query), or the
+   deadline is already gone.  [Greedy] is the terminal guarantee: it is
+   [O(n^3)] with no table and always runs, deadline or not, so the
+   cascade always ends with a plan. *)
+let eligibility ~budget tier catalog graph =
+  let n = Catalog.n catalog in
+  let table_ok () =
+    if n > Dp_table.max_relations then
+      Some (Too_large { n; limit = Dp_table.max_relations })
+    else if not (Budget.admits_table budget ~n) then
+      Some
+        (Memory
+           {
+             needed_bytes = Budget.table_bytes ~n;
+             limit_bytes = Option.value ~default:max_int (Budget.max_table_bytes budget);
+           })
+    else None
+  in
+  match tier with
+  | Greedy -> None
+  | _ when Budget.expired budget -> Some Deadline_expired
+  | Exact | Thresholded -> table_ok ()
+  | Hybrid_windows -> None
+  | Ikkbz -> if B.Ikkbz.is_tree graph then None else Some (Not_applicable "join graph is not a tree")
+
+let run_tier ~budget ~seed tier model catalog graph =
+  let interrupt = Budget.interrupt budget in
+  (* A plan with an overflowed (infinite) cost estimate is still a valid
+     join order and better than nothing; only NaN — or no plan at all —
+     counts as failure. *)
+  let finish = function
+    | Some plan, cost when not (Float.is_nan cost) -> Ok (plan, cost)
+    | _ -> Error No_finite_plan
+  in
+  match tier with
+  | Exact -> (
+    match Blitzsplit.optimize_join ~interrupt model catalog graph with
+    | result -> finish (Blitzsplit.best_plan result, Blitzsplit.best_cost result)
+    | exception Blitzsplit.Interrupted -> Error Deadline)
+  | Thresholded -> (
+    (* Seed the threshold from the greedy bound: greedy's cost is an upper
+       bound on the optimum, so the first pass prunes aggressively yet
+       cannot fail for numeric reasons alone. *)
+    let _, greedy_cost = B.Greedy.optimize model catalog graph in
+    let threshold =
+      if Float.is_finite greedy_cost && greedy_cost > 0.0 then greedy_cost *. (1.0 +. 1e-9)
+      else 1e6
+    in
+    match Threshold.optimize_join ~interrupt ~threshold model catalog graph with
+    | outcome ->
+      finish
+        ( Blitzsplit.best_plan outcome.Threshold.result,
+          Blitzsplit.best_cost outcome.Threshold.result )
+    | exception Blitzsplit.Interrupted -> Error Deadline)
+  | Hybrid_windows ->
+    (* Anytime: an interrupt returns the chain's best so far, which is at
+       worst the greedy starting plan — so this tier aborts only when the
+       numbers themselves are beyond repair. *)
+    let rng = Rng.create ~seed in
+    let (plan, cost), _stats = Hybrid.optimize ~rng ~interrupt model catalog graph in
+    finish (Some plan, cost)
+  | Ikkbz ->
+    let r = B.Ikkbz.optimize catalog graph in
+    (* IKKBZ optimizes C_out; report the plan's cost under the session
+       model for an honest cross-tier comparison. *)
+    finish (Some r.B.Ikkbz.plan, Plan.cost model catalog graph r.B.Ikkbz.plan)
+  | Greedy ->
+    let plan, cost = B.Greedy.optimize model catalog graph in
+    finish (Some plan, cost)
+
+let optimize ?(cascade = default_cascade) ?(seed = 1) ~budget model catalog graph =
+  let t_start = Budget.elapsed_ms budget in
+  let rec go attempts = function
+    | [] -> Error (List.rev attempts)
+    | tier :: rest -> (
+      match eligibility ~budget tier catalog graph with
+      | Some reason ->
+        go ({ tier; status = Skipped reason; elapsed_ms = 0.0 } :: attempts) rest
+      | None -> (
+        let t0 = Budget.elapsed_ms budget in
+        match run_tier ~budget ~seed tier model catalog graph with
+        | Ok (plan, cost) ->
+          let elapsed_ms = Budget.elapsed_ms budget -. t0 in
+          let attempts = List.rev ({ tier; status = Produced cost; elapsed_ms } :: attempts) in
+          Ok
+            ( plan,
+              {
+                winner = tier;
+                winner_cost = cost;
+                attempts;
+                total_ms = Budget.elapsed_ms budget -. t_start;
+              } )
+        | Error failure ->
+          let elapsed_ms = Budget.elapsed_ms budget -. t0 in
+          go ({ tier; status = Aborted failure; elapsed_ms } :: attempts) rest))
+  in
+  go [] cascade

@@ -1,0 +1,95 @@
+(** The graceful-degradation cascade: exact search first, cheaper
+    orderings when budgets bite.
+
+    The paper's Section 6.4 already treats "no plan found" as a
+    recoverable condition (a failed thresholded pass is retried); this
+    module generalizes that stance to the whole optimizer portfolio.
+    Tiers are tried in order — exact blitzsplit, the multi-pass
+    threshold driver, the Section 7 hybrid (DP windows inside randomized
+    search), IKKBZ for tree queries, and finally the greedy heuristic —
+    and the first to produce a plan wins.  Every decision is recorded as
+    {e provenance}: which tier produced the plan, why each earlier tier
+    was skipped (table too large for the memory ceiling, algorithm not
+    applicable, deadline already gone) or aborted (deadline fired
+    mid-search), and how much wall clock each consumed.
+
+    The final tier, greedy, is [O(n^3)] with no [2^n] table and runs
+    even with an expired deadline, so a sanitized input always yields a
+    plan. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+
+type tier =
+  | Exact  (** Unthresholded blitzsplit: the [O(3^n)] optimum. *)
+  | Thresholded
+      (** Threshold multi-pass (Section 6.4), seeded from the greedy
+          cost bound so the first pass prunes hard. *)
+  | Hybrid_windows  (** Section 7 hybrid: anytime, any [n]. *)
+  | Ikkbz  (** Tree queries only; re-costed under the session model. *)
+  | Greedy  (** Terminal guarantee; always runs. *)
+
+val tier_name : tier -> string
+
+val default_cascade : tier list
+(** [Exact; Thresholded; Hybrid_windows; Ikkbz; Greedy]. *)
+
+type skip_reason =
+  | Too_large of { n : int; limit : int }  (** Beyond [Dp_table.max_relations]. *)
+  | Memory of { needed_bytes : int; limit_bytes : int }
+  | Deadline_expired
+  | Not_applicable of string
+
+val skip_message : skip_reason -> string
+
+type failure =
+  | Deadline  (** The cancellation probe fired mid-search. *)
+  | No_finite_plan  (** The tier ran but produced no usable plan. *)
+
+val failure_message : failure -> string
+
+type status = Produced of float  (** Plan cost. *) | Aborted of failure | Skipped of skip_reason
+
+type attempt = { tier : tier; status : status; elapsed_ms : float }
+
+type provenance = {
+  winner : tier;
+  winner_cost : float;
+  attempts : attempt list;  (** In cascade order, up to and including the winner. *)
+  total_ms : float;
+}
+
+val pp_attempt : Format.formatter -> attempt -> unit
+val pp_provenance : Format.formatter -> provenance -> unit
+
+val eligibility : budget:Budget.t -> tier -> Catalog.t -> Join_graph.t -> skip_reason option
+(** [None] when the tier may be attempted under the budget's current
+    state; otherwise why it must be skipped.  {!Greedy} is always
+    eligible. *)
+
+val run_tier :
+  budget:Budget.t ->
+  seed:int ->
+  tier ->
+  Cost_model.t ->
+  Catalog.t ->
+  Join_graph.t ->
+  (Plan.t * float, failure) result
+(** Run one tier in isolation (eligibility is the caller's business —
+    see {!eligibility}).  [seed] feeds the hybrid tier's generator.
+    Exposed so tests can compare every tier's plan against the exact
+    optimum. *)
+
+val optimize :
+  ?cascade:tier list ->
+  ?seed:int ->
+  budget:Budget.t ->
+  Cost_model.t ->
+  Catalog.t ->
+  Join_graph.t ->
+  (Plan.t * provenance, attempt list) result
+(** Walk the cascade under the (already armed) budget.  [Error attempts]
+    — possible only with a custom [cascade] that omits {!Greedy} — still
+    reports why every tier declined. *)

@@ -1,0 +1,63 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+
+type outcome = {
+  plan : Plan.t;
+  cost : float;
+  provenance : Degrade.provenance;
+  repairs : Sanitize.issue list;
+  catalog : Catalog.t;
+  graph : Join_graph.t;
+}
+
+type error =
+  | Invalid_input of Sanitize.issue list
+  | No_tier_produced of Degrade.attempt list
+  | Internal of string
+
+let error_message = function
+  | Invalid_input issues ->
+    (* The issues carry their own "input:" scope. *)
+    Blitz_util.Err.format ~scope:"Guard.optimize" "%s"
+      (String.concat "; " (List.map Sanitize.issue_message issues))
+  | No_tier_produced attempts ->
+    Blitz_util.Err.format ~scope:"Guard.optimize" "no tier produced a plan (%s)"
+      (String.concat "; "
+         (List.map
+            (fun (a : Degrade.attempt) -> Format.asprintf "%a" Degrade.pp_attempt a)
+            attempts))
+  | Internal msg -> Blitz_util.Err.format ~scope:"Guard.optimize" "internal failure: %s" msg
+
+let pp_error ppf e = Format.pp_print_string ppf (error_message e)
+
+(* All entry points funnel here.  The budget is (re-)armed exactly once,
+   so every tier of the cascade draws down the same allowance; the
+   catch-all converts any escaped exception — there should be none, but
+   a resilient driver does not get to assume that — into a typed error
+   rather than unwinding through the caller. *)
+let drive ~budget ~cascade ~seed model catalog graph repairs =
+  Budget.start budget;
+  match Degrade.optimize ?cascade ?seed ~budget model catalog graph with
+  | Ok (plan, provenance) ->
+    Ok { plan; cost = provenance.Degrade.winner_cost; provenance; repairs; catalog; graph }
+  | Error attempts -> Error (No_tier_produced attempts)
+  | exception exn -> Error (Internal (Printexc.to_string exn))
+
+let optimize ?budget ?cascade ?seed model catalog graph =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  match Sanitize.check_pair catalog graph with
+  | Error issues -> Error (Invalid_input issues)
+  | Ok clean ->
+    drive ~budget ~cascade ~seed model clean.Sanitize.catalog clean.Sanitize.graph
+      clean.Sanitize.repairs
+
+let optimize_input ?budget ?policy ?cascade ?seed model ~relations ~edges () =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  match Sanitize.check ?policy ~relations ~edges () with
+  | Error issues -> Error (Invalid_input issues)
+  | exception exn -> Error (Internal (Printexc.to_string exn))
+  | Ok clean ->
+    drive ~budget ~cascade ~seed model clean.Sanitize.catalog clean.Sanitize.graph
+      clean.Sanitize.repairs

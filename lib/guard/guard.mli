@@ -1,0 +1,64 @@
+(** The resilient optimizer front door.
+
+    [Guard.optimize] composes the pieces of this library into one entry
+    point with a hard contract: {e for any input and any budget it
+    returns [Ok] with a valid plan or a typed [Error] — it never raises
+    and never exceeds its budget by more than one probe interval.}
+
+    The pipeline is: {!Sanitize} validates (and under a lenient policy
+    repairs) the raw statistics; {!Budget} arms the wall-clock deadline
+    and checks the DP-table memory ceiling before allocation; {!Degrade}
+    walks the tier cascade — exact, thresholded, hybrid, IKKBZ, greedy —
+    returning the first plan produced together with full provenance.
+    {!Chaos} exists to attack this contract in tests. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+
+type outcome = {
+  plan : Plan.t;
+  cost : float;  (** [provenance.winner_cost], under the session cost model. *)
+  provenance : Degrade.provenance;
+  repairs : Sanitize.issue list;
+      (** Defects the sanitizer repaired (empty for already-valid input). *)
+  catalog : Catalog.t;  (** The sanitized inputs the plan refers to — *)
+  graph : Join_graph.t;  (** relevant when repairs dropped edges. *)
+}
+
+type error =
+  | Invalid_input of Sanitize.issue list  (** Every irreparable defect, not just the first. *)
+  | No_tier_produced of Degrade.attempt list
+      (** Possible only with a custom cascade omitting the greedy tier. *)
+  | Internal of string  (** An escaped exception, demoted to data. *)
+
+val error_message : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val optimize :
+  ?budget:Budget.t ->
+  ?cascade:Degrade.tier list ->
+  ?seed:int ->
+  Cost_model.t ->
+  Catalog.t ->
+  Join_graph.t ->
+  (outcome, error) result
+(** Optimize already-constructed inputs under [budget] (default:
+    unlimited).  The budget is re-armed on entry, so one [Budget.t] can
+    be reused across calls.  With no deadline and default cascade the
+    result matches [Blitzsplit.optimize_join] exactly. *)
+
+val optimize_input :
+  ?budget:Budget.t ->
+  ?policy:Sanitize.policy ->
+  ?cascade:Degrade.tier list ->
+  ?seed:int ->
+  Cost_model.t ->
+  relations:(string * float) list ->
+  edges:(int * int * float) list ->
+  unit ->
+  (outcome, error) result
+(** Optimize raw, untrusted statistics: sanitize under [policy]
+    (default {!Sanitize.lenient}), then proceed as {!optimize}.  This is
+    the entry point the chaos property suite drives. *)

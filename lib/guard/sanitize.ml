@@ -1,0 +1,96 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+
+type issue =
+  | Empty_catalog
+  | Too_many_relations of { count : int; limit : int }
+  | Empty_relation_name of { index : int }
+  | Duplicate_relation_name of { name : string }
+  | Bad_cardinality of { name : string; card : float }
+  | Edge_endpoint_out_of_range of { i : int; j : int; n : int }
+  | Self_edge of { i : int }
+  | Duplicate_edge of { i : int; j : int }
+  | Bad_selectivity of { i : int; j : int; sel : float }
+  | Selectivity_above_one of { i : int; j : int; sel : float }
+  | Size_mismatch of { catalog_n : int; graph_n : int }
+
+let issue_message =
+  let fmt x = Blitz_util.Err.format ~scope:"input" x in
+  function
+  | Empty_catalog -> fmt "no relations"
+  | Too_many_relations { count; limit } -> fmt "%d relations exceed the %d-relation limit" count limit
+  | Empty_relation_name { index } -> fmt "relation %d has an empty name" index
+  | Duplicate_relation_name { name } -> fmt "duplicate relation name %S" name
+  | Bad_cardinality { name; card } -> fmt "relation %S has invalid cardinality %g" name card
+  | Edge_endpoint_out_of_range { i; j; n } ->
+    fmt "edge (%d, %d) has an endpoint outside [0, %d)" i j n
+  | Self_edge { i } -> fmt "self-edge on relation %d" i
+  | Duplicate_edge { i; j } -> fmt "duplicate edge (%d, %d)" i j
+  | Bad_selectivity { i; j; sel } -> fmt "edge (%d, %d) has invalid selectivity %g" i j sel
+  | Selectivity_above_one { i; j; sel } -> fmt "edge (%d, %d) has selectivity %g above 1" i j sel
+  | Size_mismatch { catalog_n; graph_n } ->
+    fmt "catalog has %d relations but the join graph covers %d" catalog_n graph_n
+
+let pp_issue ppf i = Format.pp_print_string ppf (issue_message i)
+
+type policy = { clamp_selectivities : bool; drop_bad_edges : bool }
+
+let strict = { clamp_selectivities = false; drop_bad_edges = false }
+let lenient = { clamp_selectivities = true; drop_bad_edges = true }
+
+type clean = { catalog : Catalog.t; graph : Join_graph.t; repairs : issue list }
+
+let max_relations = 62 (* Relset.max_width *)
+
+let check ?(policy = lenient) ~relations ~edges () =
+  let errors = ref [] and repairs = ref [] in
+  let error i = errors := i :: !errors in
+  let repair i = repairs := i :: !repairs in
+  (* Relations: cardinalities are irreparable — there is no honest value
+     to substitute — so every defect here is an error. *)
+  let n = List.length relations in
+  if n = 0 then error Empty_catalog;
+  if n > max_relations then error (Too_many_relations { count = n; limit = max_relations });
+  let seen = Hashtbl.create 16 in
+  List.iteri
+    (fun index (name, card) ->
+      if name = "" then error (Empty_relation_name { index })
+      else if Hashtbl.mem seen name then error (Duplicate_relation_name { name })
+      else Hashtbl.add seen name ();
+      if not (Float.is_finite card) || card <= 0.0 then error (Bad_cardinality { name; card }))
+    relations;
+  (* Edges: a defective predicate can be dropped (losing only pruning
+     information — an absent edge is selectivity 1, always sound) and an
+     overshooting selectivity clamped, when the policy allows. *)
+  let seen_edges = Hashtbl.create 16 in
+  let kept = ref [] in
+  let drop issue = if policy.drop_bad_edges then repair issue else error issue in
+  List.iter
+    (fun (i, j, sel) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        drop (Edge_endpoint_out_of_range { i; j; n })
+      else if i = j then drop (Self_edge { i })
+      else if Hashtbl.mem seen_edges (min i j, max i j) then drop (Duplicate_edge { i; j })
+      else if not (Float.is_finite sel) || sel <= 0.0 then drop (Bad_selectivity { i; j; sel })
+      else begin
+        Hashtbl.add seen_edges (min i j, max i j) ();
+        if sel > 1.0 then
+          if policy.clamp_selectivities then begin
+            repair (Selectivity_above_one { i; j; sel });
+            kept := (i, j, 1.0) :: !kept
+          end
+          else error (Selectivity_above_one { i; j; sel })
+        else kept := (i, j, sel) :: !kept
+      end)
+    edges;
+  match List.rev !errors with
+  | _ :: _ as errors -> Error errors
+  | [] ->
+    let catalog = Catalog.of_list relations in
+    let graph = Join_graph.of_edges ~n (List.rev !kept) in
+    Ok { catalog; graph; repairs = List.rev !repairs }
+
+let check_pair catalog graph =
+  let catalog_n = Catalog.n catalog and graph_n = Join_graph.n graph in
+  if catalog_n <> graph_n then Error [ Size_mismatch { catalog_n; graph_n } ]
+  else Ok { catalog; graph; repairs = [] }

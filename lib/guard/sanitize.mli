@@ -1,0 +1,69 @@
+(** Input hardening for optimizer statistics.
+
+    A production optimizer receives its catalog and join graph from the
+    outside world — parsers, statistics collectors, remote metadata
+    services — any of which can deliver NaN cardinalities, selectivities
+    above 1, edges to relations that do not exist, or duplicates.  The
+    raising constructors in {!Blitz_catalog.Catalog} and
+    {!Blitz_graph.Join_graph} stop at the first defect with an untyped
+    exception; this module instead scans the whole input, classifies
+    every defect, repairs what can be repaired soundly (under an explicit
+    policy), and returns either clean optimizer inputs plus the list of
+    repairs performed, or the full list of irreparable issues. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+
+type issue =
+  | Empty_catalog
+  | Too_many_relations of { count : int; limit : int }
+  | Empty_relation_name of { index : int }
+  | Duplicate_relation_name of { name : string }
+  | Bad_cardinality of { name : string; card : float }
+      (** NaN, infinite, zero or negative — irreparable: no honest
+          substitute exists. *)
+  | Edge_endpoint_out_of_range of { i : int; j : int; n : int }
+  | Self_edge of { i : int }
+  | Duplicate_edge of { i : int; j : int }
+  | Bad_selectivity of { i : int; j : int; sel : float }  (** NaN, infinite, zero or negative. *)
+  | Selectivity_above_one of { i : int; j : int; sel : float }
+  | Size_mismatch of { catalog_n : int; graph_n : int }
+
+val issue_message : issue -> string
+val pp_issue : Format.formatter -> issue -> unit
+
+type policy = {
+  clamp_selectivities : bool;
+      (** Pin selectivities above 1 to [1.0] (recorded as a repair)
+          instead of rejecting the input. *)
+  drop_bad_edges : bool;
+      (** Drop unusable edges — bad endpoints, self-edges, duplicates,
+          NaN/non-positive selectivities — instead of rejecting.  Sound:
+          an absent edge behaves as selectivity 1, so dropping only loses
+          pruning information, never validity. *)
+}
+
+val strict : policy  (** Repair nothing; every defect is an error. *)
+
+val lenient : policy  (** Repair everything repairable (the default). *)
+
+type clean = {
+  catalog : Catalog.t;
+  graph : Join_graph.t;
+  repairs : issue list;  (** What {!lenient} mode fixed up, in input order. *)
+}
+
+val check :
+  ?policy:policy ->
+  relations:(string * float) list ->
+  edges:(int * int * float) list ->
+  unit ->
+  (clean, issue list) result
+(** Validate raw statistics.  [Error issues] lists {e all} irreparable
+    defects (not just the first); defects in [relations] are always
+    irreparable. *)
+
+val check_pair : Catalog.t -> Join_graph.t -> (clean, issue list) result
+(** Validate already-constructed inputs — only cross-input invariants
+    (the size match) remain to check, since the constructors enforce the
+    rest. *)

@@ -124,7 +124,8 @@ let subtree_at plan path =
   in
   go plan path
 
-let optimize ~rng ?window ?kicks ?(kick_strength = 3) ?start model catalog graph =
+let optimize ~rng ?window ?kicks ?(kick_strength = 3) ?start ?(interrupt = fun () -> false) model
+    catalog graph =
   let n = Catalog.n catalog in
   if Join_graph.n graph <> n then invalid_arg "Hybrid.optimize: graph/catalog size mismatch";
   if kick_strength < 1 then invalid_arg "Hybrid.optimize: kick_strength must be positive";
@@ -168,10 +169,14 @@ let optimize ~rng ?window ?kicks ?(kick_strength = 3) ?start model catalog graph
       | Some subtree' -> Some (replace_at plan path subtree')
     in
     (* Sweep every internal node (root included) until no composite
-       re-arrangement improves the plan. *)
+       re-arrangement improves the plan.  The interrupt probe is polled
+       between window re-optimizations — the unit of work here, each at
+       most [O(3^window)] — and the search stops gracefully at the
+       current best rather than discarding it. *)
     let rec descend plan cost =
       let rec try_windows = function
         | [] -> (plan, cost)
+        | _ :: _ when interrupt () -> (plan, cost)
         | path :: rest -> (
           match reoptimize_window plan path with
           | None -> try_windows rest
@@ -196,7 +201,9 @@ let optimize ~rng ?window ?kicks ?(kick_strength = 3) ?start model catalog graph
     let plan, cost = descend !chain_plan !chain_cost in
     chain_plan := plan;
     chain_cost := cost;
-    for _ = 1 to kick_budget do
+    let remaining_kicks = ref kick_budget in
+    while !remaining_kicks > 0 && not (interrupt ()) do
+      decr remaining_kicks;
       incr kicks_done;
       let perturbed = kick !chain_plan in
       let plan, cost = descend perturbed (measure perturbed) in

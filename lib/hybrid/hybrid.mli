@@ -40,6 +40,7 @@ val optimize :
   ?kicks:int ->
   ?kick_strength:int ->
   ?start:Plan.t ->
+  ?interrupt:(unit -> bool) ->
   Cost_model.t ->
   Catalog.t ->
   Join_graph.t ->
@@ -48,7 +49,11 @@ val optimize :
     (default [min 10 n]) bounds exact-reoptimization size;
     [kicks] (default [4 * n]) bounds perturbation phases;
     [kick_strength] (default 3) is the number of random moves per kick;
-    [start] defaults to the greedy plan.  Unlike blitzsplit itself, this
-    works for arbitrarily many relations; cost is evaluated with the full
-    reference costing (no [2^n] table) when [n] exceeds the DP-table
-    cap. *)
+    [start] defaults to the greedy plan.  [interrupt] is polled between
+    window re-optimizations and between kicks; when it returns [true]
+    the search stops gracefully and the chain's best plan so far is
+    returned (never an exception — an anytime algorithm has a valid
+    answer from the first measurement on).  Unlike blitzsplit itself,
+    this works for arbitrarily many relations; cost is evaluated with
+    the full reference costing (no [2^n] table) when [n] exceeds the
+    DP-table cap. *)

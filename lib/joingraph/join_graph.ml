@@ -16,28 +16,78 @@ let check_pair t i j =
 
 let idx t i j = (i * t.n) + j
 
-let no_predicates ~n =
-  if n < 1 then invalid_arg "Join_graph: need at least one relation";
-  if n > Relset.max_width then invalid_arg "Join_graph: too many relations for the bitset width";
-  { n; sel = Array.make (n * n) 1.0; edge = Array.make (n * n) false; neighbors = Array.make n 0 }
+type error =
+  | Too_few_relations of int
+  | Too_many_relations of int
+  | Endpoint_out_of_range of { i : int; j : int; n : int }
+  | Self_edge of int
+  | Duplicate_edge of int * int
+  | Invalid_selectivity of { i : int; j : int; sel : float }
+  | Selectivity_above_one of { i : int; j : int; sel : float }
 
-let of_edges ~n edges =
-  let t = no_predicates ~n in
-  List.iter
-    (fun (i, j, s) ->
-      check_pair t i j;
-      if t.edge.(idx t i j) then
-        invalid_arg (Printf.sprintf "Join_graph.of_edges: duplicate edge (%d, %d)" i j);
-      if not (Float.is_finite s) || s <= 0.0 then
-        invalid_arg (Printf.sprintf "Join_graph.of_edges: invalid selectivity %g on (%d, %d)" s i j);
-      t.sel.(idx t i j) <- s;
-      t.sel.(idx t j i) <- s;
-      t.edge.(idx t i j) <- true;
-      t.edge.(idx t j i) <- true;
-      t.neighbors.(i) <- Relset.add t.neighbors.(i) j;
-      t.neighbors.(j) <- Relset.add t.neighbors.(j) i)
-    edges;
-  t
+let error_message =
+  let fmt x = Blitz_util.Err.format ~scope:"Join_graph.of_edges" x in
+  function
+  | Too_few_relations _ -> "Join_graph: need at least one relation"
+  | Too_many_relations _ -> "Join_graph: too many relations for the bitset width"
+  | Endpoint_out_of_range { i; j; _ } ->
+    Printf.sprintf "Join_graph: relation index out of range (%d, %d)" i j
+  | Self_edge _ -> "Join_graph: self-edge query"
+  | Duplicate_edge (i, j) -> fmt "duplicate edge (%d, %d)" i j
+  | Invalid_selectivity { i; j; sel } -> fmt "invalid selectivity %g on (%d, %d)" sel i j
+  | Selectivity_above_one { i; j; sel } -> fmt "selectivity %g outside (0, 1] on (%d, %d)" sel i j
+
+let pp_error ppf e = Format.pp_print_string ppf (error_message e)
+
+let no_predicates_result ~n =
+  if n < 1 then Error (Too_few_relations n)
+  else if n > Relset.max_width then Error (Too_many_relations n)
+  else
+    Ok
+      {
+        n;
+        sel = Array.make (n * n) 1.0;
+        edge = Array.make (n * n) false;
+        neighbors = Array.make n 0;
+      }
+
+let no_predicates ~n =
+  Blitz_util.Err.get_with ~to_message:error_message (no_predicates_result ~n)
+
+(* Selectivities above 1 are physically meaningless (a predicate cannot
+   enlarge a join's result) and, silently propagated, poison the fan
+   recurrence.  The caller must pick a policy: [`Reject] (the default)
+   reports them, [`Clamp] pins them to 1.0 — appropriate for estimated
+   statistics whose formulas can overshoot. *)
+let of_edges_result ?(above_one = `Reject) ~n edges =
+  match no_predicates_result ~n with
+  | Error _ as e -> e
+  | Ok t ->
+    let rec add = function
+      | [] -> Ok t
+      | (i, j, s) :: rest ->
+        if i < 0 || i >= n || j < 0 || j >= n then Error (Endpoint_out_of_range { i; j; n })
+        else if i = j then Error (Self_edge i)
+        else if t.edge.(idx t i j) then Error (Duplicate_edge (i, j))
+        else if not (Float.is_finite s) || s <= 0.0 then
+          Error (Invalid_selectivity { i; j; sel = s })
+        else if s > 1.0 && above_one = `Reject then
+          Error (Selectivity_above_one { i; j; sel = s })
+        else begin
+          let s = Float.min s 1.0 in
+          t.sel.(idx t i j) <- s;
+          t.sel.(idx t j i) <- s;
+          t.edge.(idx t i j) <- true;
+          t.edge.(idx t j i) <- true;
+          t.neighbors.(i) <- Relset.add t.neighbors.(i) j;
+          t.neighbors.(j) <- Relset.add t.neighbors.(j) i;
+          add rest
+        end
+    in
+    add edges
+
+let of_edges ?above_one ~n edges =
+  Blitz_util.Err.get_with ~to_message:error_message (of_edges_result ?above_one ~n edges)
 
 let selectivity t i j =
   check_pair t i j;

@@ -16,11 +16,45 @@ module Relset = Blitz_bitset.Relset
 type t
 (** Immutable join graph over relations [0 .. n-1]. *)
 
-val of_edges : n:int -> (int * int * float) list -> t
-(** [of_edges ~n edges] builds a graph; each [(i, j, sel)] adds an
-    undirected predicate edge.  Raises [Invalid_argument] on out-of-range
-    endpoints, self-edges, duplicate edges, non-finite or non-positive
-    selectivities, or [n < 1]. *)
+(** {1 Construction}
+
+    The [_result] constructors are the non-raising front door for
+    externally supplied statistics; the raising forms remain for
+    internal callers and raise [Invalid_argument] with exactly
+    {!error_message}. *)
+
+type error =
+  | Too_few_relations of int  (** [n < 1]. *)
+  | Too_many_relations of int  (** Beyond the bitset width. *)
+  | Endpoint_out_of_range of { i : int; j : int; n : int }
+  | Self_edge of int
+  | Duplicate_edge of int * int
+  | Invalid_selectivity of { i : int; j : int; sel : float }
+      (** NaN, infinite, zero or negative. *)
+  | Selectivity_above_one of { i : int; j : int; sel : float }
+      (** Outside [(0, 1]] under the [`Reject] policy. *)
+
+val error_message : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val of_edges_result :
+  ?above_one:[ `Reject | `Clamp ] -> n:int -> (int * int * float) list -> (t, error) result
+(** [of_edges_result ~n edges] builds a graph; each [(i, j, sel)] adds an
+    undirected predicate edge.  Selectivities above 1 are physically
+    meaningless — a predicate cannot enlarge a result — and would
+    silently corrupt the fan recurrence, so the policy is explicit:
+    [`Reject] (default) reports them as errors, [`Clamp] pins them to
+    [1.0] (appropriate for estimated statistics whose formulas can
+    overshoot, e.g. the appendix workload formula or histogram
+    estimates). *)
+
+val of_edges : ?above_one:[ `Reject | `Clamp ] -> n:int -> (int * int * float) list -> t
+(** Raising form of {!of_edges_result}: [Invalid_argument] on
+    out-of-range endpoints, self-edges, duplicate edges, non-finite,
+    non-positive or (under [`Reject]) above-one selectivities, or
+    [n < 1]. *)
+
+val no_predicates_result : n:int -> (t, error) result
 
 val no_predicates : n:int -> t
 (** The empty graph: pure Cartesian-product optimization. *)

@@ -86,7 +86,10 @@ let assign_selectivities catalog unweighted ~result_card =
     let weighted =
       List.map (fun (i, j) -> (i, j, mu_factor *. endpoint_factor i *. endpoint_factor j)) unweighted
     in
-    Join_graph.of_edges ~n weighted
+    (* The appendix formula can overshoot 1 for small cardinalities with a
+       large target result; clamp rather than reject — the workload stays
+       usable and a selectivity of 1 just means "no predicate effect". *)
+    Join_graph.of_edges ~above_one:`Clamp ~n weighted
   end
 
 let make topo catalog =

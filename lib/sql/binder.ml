@@ -34,7 +34,11 @@ let bind_select_exn ~tables (select : Ast.select) =
         (binding, List.assoc item.Ast.table_name tables))
       select.Ast.from
   in
-  let catalog = Catalog.of_list entries in
+  let catalog =
+    match Catalog.of_list_result entries with
+    | Ok c -> c
+    | Error e -> fail select.Ast.select_pos "%s" (Catalog.error_message e)
+  in
   let resolve (r : Ast.column_ref) =
     match Hashtbl.find_opt by_binding r.Ast.table with
     | Some idx -> idx
@@ -51,6 +55,8 @@ let bind_select_exn ~tables (select : Ast.select) =
           match p.Ast.selectivity with
           | Some s ->
             if s > 1.0 then fail p.Ast.pred_pos "selectivity %g exceeds 1" s;
+            if Float.is_nan s || s <= 0.0 then
+              fail p.Ast.pred_pos "selectivity %g is not in (0, 1]" s;
             s
           | None -> 1.0 /. Float.max (Catalog.card catalog li) (Catalog.card catalog ri)
         in
@@ -66,7 +72,11 @@ let bind_select_exn ~tables (select : Ast.select) =
       Hashtbl.replace pair_sel key (existing *. sel))
     predicates;
   let edges = Hashtbl.fold (fun (i, j) sel acc -> (i, j, sel) :: acc) pair_sel [] in
-  let graph = Join_graph.of_edges ~n:(Catalog.n catalog) edges in
+  let graph =
+    match Join_graph.of_edges_result ~n:(Catalog.n catalog) edges with
+    | Ok g -> g
+    | Error e -> fail select.Ast.select_pos "%s" (Join_graph.error_message e)
+  in
   let required_order =
     match select.Ast.order_by with
     | None -> None
@@ -104,6 +114,10 @@ let bind_script statements =
         match stmt with
         | Ast.Create_table { name; cardinality; create_pos } ->
           if Hashtbl.mem schema name then fail create_pos "table %S is already defined" name;
+          (* Reject bad statistics where the position is known, not when
+             a later SELECT's catalog construction trips over them. *)
+          if not (Float.is_finite cardinality) || cardinality <= 0.0 then
+            fail create_pos "table %S has invalid cardinality %g" name cardinality;
           Hashtbl.add schema name cardinality;
           None
         | Ast.Select select ->

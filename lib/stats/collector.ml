@@ -48,7 +48,8 @@ let collect ?buckets ?(method_ = Histogram_overlap) (dataset : Datagen.t) =
         (i, j, Float.max sel floor_sel))
       (Join_graph.edges dataset.Datagen.graph)
   in
-  { catalog; graph = Join_graph.of_edges ~n edges; column_histograms }
+  (* Histogram estimates are approximate and may exceed 1; clamp. *)
+  { catalog; graph = Join_graph.of_edges ~above_one:`Clamp ~n edges; column_histograms }
 
 let max_relative_selectivity_error t (dataset : Datagen.t) =
   List.fold_left

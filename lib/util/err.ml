@@ -1,0 +1,5 @@
+let format ~scope fmt = Format.kasprintf (fun msg -> scope ^ ": " ^ msg) fmt
+
+let get = function Ok v -> v | Error msg -> invalid_arg msg
+
+let get_with ~to_message = function Ok v -> v | Error e -> invalid_arg (to_message e)

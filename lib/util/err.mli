@@ -1,0 +1,19 @@
+(** Shared error formatting for typed construction errors.
+
+    The input-facing modules (catalog, join graph, SQL front end, guard)
+    all render errors as ["<scope>: <detail>"] so that a message carries
+    its origin whether it travels as a typed [result] or is raised by a
+    legacy [_exn]-style constructor.  Centralizing the convention keeps
+    the two paths word-for-word identical, which the tests rely on. *)
+
+val format : scope:string -> ('a, Format.formatter, unit, string) format4 -> 'a
+(** [format ~scope fmt ...] renders ["<scope>: <formatted detail>"]. *)
+
+val get : ('a, string) result -> 'a
+(** [get r] unwraps [Ok], raising [Invalid_argument] with the carried
+    message on [Error] — the bridge from the typed constructors to the
+    historical raising entry points. *)
+
+val get_with : to_message:('e -> string) -> ('a, 'e) result -> 'a
+(** Like {!get} for structured error types: the error is rendered with
+    [to_message] before raising. *)

@@ -1,0 +1,53 @@
+The resilient driver, end to end.  Wall-clock figures vary run to run,
+so provenance timings and the time: line are stripped.
+
+With --degrade and no budget, the guard is exact blitzsplit plus a
+provenance trail:
+
+  $ strip() { sed -E 's/ in [0-9.]+ms/ in Xms/; s/ after [0-9.]+ms/ after Xms/' | grep -v '^time:'; }
+
+  $ blitz optimize -n 6 --model k0 --degrade | strip
+  query:      n=6 chain k0 mu=100 v=0.00
+  model:      k0 (guarded driver)
+  plan:       ((R1 x (R0 x R3)) x (R4 x (R2 x R5)))
+  cost:       276.429
+  tier:       exact
+  provenance:
+    exact: produced plan (cost 276.429) in Xms
+
+A 1 ms deadline on an 18-relation clique interrupts the exact search
+mid-table; the budgeted tiers are skipped and greedy — the terminal,
+deadline-exempt tier — answers, with the abort recorded:
+
+  $ blitz optimize -n 18 --topology clique --model k0 --deadline-ms 1 | strip
+  query:      n=18 clique k0 mu=100 v=0.00
+  model:      k0 (guarded driver)
+  plan:       (((((R8 x R9) x (R6 x R7)) x ((R12 x R13) x (R10 x R11))) x (((R4 x R5) x (R2 x R3)) x (R0 x R1))) x ((R16 x R17) x (R14 x R15)))
+  cost:       6.53757e+09 (not guaranteed optimal)
+  tier:       greedy
+  provenance:
+    exact: aborted (deadline) after Xms
+    thresholded: skipped (deadline expired)
+    hybrid: skipped (deadline expired)
+    ikkbz: skipped (deadline expired)
+    greedy: produced plan (cost 6.53757e+09) in Xms
+
+A memory ceiling below the 10 MiB DP-table footprint skips both DP
+tiers before any allocation; the hybrid's windowed search takes over:
+
+  $ blitz optimize -n 18 --model k0 --max-table-mb 1 | strip
+  query:      n=18 chain k0 mu=100 v=0.00
+  model:      k0 (guarded driver)
+  plan:       (((((((((R8 x R17) x R16) x R7) x R15) x R6) x R14) x R5) x R13) x ((((((((R0 x R9) x R1) x R10) x R2) x R11) x R3) x R12) x R4))
+  cost:       751.767 (not guaranteed optimal)
+  tier:       hybrid
+  provenance:
+    exact: skipped (DP table needs 10485760 B, ceiling is 1048576 B)
+    thresholded: skipped (DP table needs 10485760 B, ceiling is 1048576 B)
+    hybrid: produced plan (cost 751.767) in Xms
+
+Nonsense budgets are rejected up front:
+
+  $ blitz optimize -n 12 --max-table-mb 0
+  blitz: Budget.create: memory ceiling 0 B is not positive
+  [1]

@@ -19,6 +19,7 @@ let () =
       ("ikkbz", Test_ikkbz.suite);
       ("volcano", Test_volcano.suite);
       ("hybrid", Test_hybrid.suite);
+      ("guard", Test_guard.suite);
       ("workload", Test_workload.suite);
       ("tpch", Test_tpch.suite);
       ("exec", Test_exec.suite);

@@ -1,0 +1,250 @@
+(* The resilient driver: budgets, sanitization, the degradation cascade
+   and the chaos contract — for any corrupted input, [Guard.optimize]
+   returns a valid plan or a typed error, never an exception. *)
+
+open Test_helpers
+module Blitzsplit = Blitz_core.Blitzsplit
+module Budget = Blitz_guard.Budget
+module Sanitize = Blitz_guard.Sanitize
+module Chaos = Blitz_guard.Chaos
+module Degrade = Blitz_guard.Degrade
+module Guard = Blitz_guard.Guard
+
+let check_float = Test_helpers.check_float
+
+let validate_against catalog plan =
+  match Plan.validate ~n:(Catalog.n catalog) plan with
+  | Ok () -> true
+  | Error _ -> false
+
+(* Appendix-style problems at a chosen size and shape. *)
+let topology_problem ~n shape =
+  let catalog = Catalog.of_cards (Array.init n (fun i -> 100.0 +. (37.0 *. float_of_int i))) in
+  (catalog, Topology.make shape catalog)
+
+(* ---- budgets ---- *)
+
+let test_budget_basics () =
+  Alcotest.check_raises "non-positive deadline"
+    (Invalid_argument "Budget.create: deadline -1 ms is not positive") (fun () ->
+      ignore (Budget.create ~deadline_ms:(-1.0) ()));
+  Alcotest.check_raises "non-positive ceiling"
+    (Invalid_argument "Budget.create: memory ceiling 0 B is not positive") (fun () ->
+      ignore (Budget.create ~max_table_bytes:0 ()));
+  Alcotest.(check int) "table footprint n=10" (40 * 1024) (Budget.table_bytes ~n:10);
+  Alcotest.(check int) "footprint saturates" max_int (Budget.table_bytes ~n:60);
+  let b = Budget.create ~max_table_bytes:(40 * 1024) () in
+  Alcotest.(check bool) "n=10 fits exactly" true (Budget.admits_table b ~n:10);
+  Alcotest.(check bool) "n=11 does not" false (Budget.admits_table b ~n:11);
+  let u = Budget.unlimited () in
+  Alcotest.(check bool) "unlimited never expires" false (Budget.expired u);
+  Alcotest.(check bool) "unlimited admits anything" true (Budget.admits_table u ~n:24);
+  check_float "unlimited remaining" Float.infinity (Budget.remaining_ms u)
+
+(* ---- sanitization ---- *)
+
+let raw_relations = [ ("a", 10.0); ("b", 20.0); ("c", 30.0) ]
+
+let test_sanitize_lenient_repairs () =
+  (* One clampable selectivity, one duplicate edge, one wild endpoint:
+     all repairable; the clean graph keeps only the sound edges. *)
+  let edges = [ (0, 1, 1.5); (0, 1, 1.5); (1, 7, 0.5); (1, 2, 0.25) ] in
+  match Sanitize.check ~relations:raw_relations ~edges () with
+  | Error issues ->
+    Alcotest.failf "expected repairs, got errors: %s"
+      (String.concat "; " (List.map Sanitize.issue_message issues))
+  | Ok clean ->
+    Alcotest.(check int) "three repairs" 3 (List.length clean.Sanitize.repairs);
+    Alcotest.(check int) "two edges survive" 2 (Join_graph.edge_count clean.Sanitize.graph);
+    check_float "selectivity clamped to 1" 1.0 (Join_graph.selectivity clean.Sanitize.graph 0 1);
+    check_float "good edge untouched" 0.25 (Join_graph.selectivity clean.Sanitize.graph 1 2)
+
+let test_sanitize_strict_rejects () =
+  let edges = [ (0, 1, 1.5); (1, 2, 0.25) ] in
+  match Sanitize.check ~policy:Sanitize.strict ~relations:raw_relations ~edges () with
+  | Ok _ -> Alcotest.fail "strict policy must reject a selectivity above 1"
+  | Error [ Sanitize.Selectivity_above_one { i = 0; j = 1; sel } ] ->
+    check_float "offending selectivity" 1.5 sel
+  | Error issues ->
+    Alcotest.failf "unexpected issues: %s"
+      (String.concat "; " (List.map Sanitize.issue_message issues))
+
+let test_sanitize_collects_all_errors () =
+  (* Relation defects are irreparable under any policy, and ALL of them
+     are reported — not just the first. *)
+  let relations = [ ("a", Float.nan); ("", 20.0); ("c", -3.0) ] in
+  match Sanitize.check ~relations ~edges:[] () with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error issues -> Alcotest.(check int) "all three defects reported" 3 (List.length issues)
+
+(* ---- the degradation cascade ---- *)
+
+(* The headline acceptance scenario: an 18-relation clique under a 1 ms
+   deadline.  Exact search is interrupted mid-table; the remaining
+   budgeted tiers are skipped; greedy (the terminal, deadline-exempt
+   tier) supplies a valid plan, and the provenance names the aborted
+   tier. *)
+let test_deadline_degrades_to_greedy () =
+  let catalog, graph = topology_problem ~n:18 Topology.Clique in
+  let budget = Budget.create ~deadline_ms:1.0 () in
+  match Guard.optimize ~budget Cost_model.kdnl catalog graph with
+  | Error e -> Alcotest.failf "guard failed: %s" (Guard.error_message e)
+  | Ok o ->
+    Alcotest.(check bool) "plan is valid" true (validate_against catalog o.Guard.plan);
+    Alcotest.(check string) "greedy wins" "greedy"
+      (Degrade.tier_name o.Guard.provenance.Degrade.winner);
+    let exact_attempt =
+      List.find (fun a -> a.Degrade.tier = Degrade.Exact) o.Guard.provenance.Degrade.attempts
+    in
+    (match exact_attempt.Degrade.status with
+    | Degrade.Aborted Degrade.Deadline -> ()
+    | _ -> Alcotest.fail "provenance must record the exact tier aborting on the deadline");
+    check_float ~rel:1e-9 "outcome cost is the plan's cost" o.Guard.cost
+      (Plan.cost Cost_model.kdnl catalog graph o.Guard.plan)
+
+let test_memory_cap_skips_to_hybrid () =
+  let catalog, graph = topology_problem ~n:12 Topology.Chain in
+  (* Ceiling below the 40 * 2^12 B table: both DP tiers must skip
+     BEFORE allocating, with the footprint in the provenance. *)
+  let budget = Budget.create ~max_table_bytes:(Budget.table_bytes ~n:12 - 1) () in
+  match Guard.optimize ~budget Cost_model.kdnl catalog graph with
+  | Error e -> Alcotest.failf "guard failed: %s" (Guard.error_message e)
+  | Ok o ->
+    Alcotest.(check string) "hybrid wins" "hybrid"
+      (Degrade.tier_name o.Guard.provenance.Degrade.winner);
+    List.iter
+      (fun a ->
+        match (a.Degrade.tier, a.Degrade.status) with
+        | (Degrade.Exact | Degrade.Thresholded), Degrade.Skipped (Degrade.Memory { needed_bytes; _ })
+          ->
+          Alcotest.(check int) "needed bytes recorded" (Budget.table_bytes ~n:12) needed_bytes
+        | (Degrade.Exact | Degrade.Thresholded), _ -> Alcotest.fail "DP tier was not memory-skipped"
+        | _ -> ())
+      o.Guard.provenance.Degrade.attempts;
+    Alcotest.(check bool) "plan is valid" true (validate_against catalog o.Guard.plan)
+
+let test_unbudgeted_matches_exact () =
+  (* With no budget the guard is exactly blitzsplit, asserted across
+     random problems at several sizes. *)
+  for seed = 1 to 12 do
+    let rng = Rng.create ~seed in
+    let n = 2 + Rng.int rng 9 in
+    let catalog = random_catalog rng ~n ~lo:1.0 ~hi:1e4 in
+    let graph = random_graph rng ~n ~edge_prob:0.5 ~sel_lo:1e-4 ~sel_hi:1.0 in
+    let exact = Blitzsplit.best_cost (Blitzsplit.optimize_join Cost_model.kdnl catalog graph) in
+    match Guard.optimize Cost_model.kdnl catalog graph with
+    | Error e -> Alcotest.failf "seed %d: guard failed: %s" seed (Guard.error_message e)
+    | Ok o ->
+      Alcotest.(check string) "exact tier wins" "exact"
+        (Degrade.tier_name o.Guard.provenance.Degrade.winner);
+      check_float ~rel:1e-9 "same cost as blitzsplit" exact o.Guard.cost
+  done
+
+let test_every_tier_valid_and_bounded () =
+  (* Chain topology so IKKBZ applies: every tier, run in isolation, must
+     produce a valid plan whose cost is consistent with Plan.cost and no
+     better than the exact optimum. *)
+  let catalog, graph = topology_problem ~n:7 Topology.Chain in
+  let model = Cost_model.kdnl in
+  let optimum = Blitzsplit.best_cost (Blitzsplit.optimize_join model catalog graph) in
+  let budget = Budget.unlimited () in
+  List.iter
+    (fun tier ->
+      match Degrade.run_tier ~budget ~seed:1 tier model catalog graph with
+      | Error f ->
+        Alcotest.failf "tier %s failed: %s" (Degrade.tier_name tier) (Degrade.failure_message f)
+      | Ok (plan, cost) ->
+        let name = Degrade.tier_name tier in
+        Alcotest.(check bool) (name ^ " plan valid") true (validate_against catalog plan);
+        check_float ~rel:1e-9 (name ^ " cost consistent") (Plan.cost model catalog graph plan) cost;
+        Alcotest.(check bool)
+          (Printf.sprintf "%s cost %g >= optimum %g" name cost optimum)
+          true
+          (cost >= optimum *. (1.0 -. 1e-9)))
+    Degrade.default_cascade
+
+let test_cascade_without_terminal_tier () =
+  (* A custom cascade with no greedy terminal can fail; the failure still
+     carries the full attempt log. *)
+  let catalog, graph = topology_problem ~n:12 Topology.Chain in
+  let budget = Budget.create ~max_table_bytes:1 () in
+  match Guard.optimize ~budget ~cascade:[ Degrade.Exact; Degrade.Thresholded ] Cost_model.kdnl
+          catalog graph
+  with
+  | Ok _ -> Alcotest.fail "expected failure: both tiers are memory-skipped"
+  | Error (Guard.No_tier_produced attempts) ->
+    Alcotest.(check int) "both attempts logged" 2 (List.length attempts)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Guard.error_message e)
+
+(* ---- chaos ---- *)
+
+let base_input ~n =
+  let catalog = Catalog.of_cards (Array.init n (fun i -> 50.0 +. (31.0 *. float_of_int i))) in
+  let graph = Topology.make Topology.Chain catalog in
+  Chaos.input_of catalog graph
+
+(* Structural [=] on corrupted inputs is wrong once a fault injects NaN
+   (NaN <> NaN); compare through a NaN-tolerant float equality. *)
+let float_eq a b = (Float.is_nan a && Float.is_nan b) || a = b
+
+let input_eq (a : Chaos.input) (b : Chaos.input) =
+  List.equal (fun (n1, c1) (n2, c2) -> String.equal n1 n2 && float_eq c1 c2) a.Chaos.relations
+    b.Chaos.relations
+  && List.equal
+       (fun (i1, j1, s1) (i2, j2, s2) -> i1 = i2 && j1 = j2 && float_eq s1 s2)
+       a.Chaos.edges b.Chaos.edges
+
+let test_chaos_deterministic () =
+  let input = base_input ~n:8 in
+  let a, faults_a = Chaos.corrupt ~seed:42 input in
+  let b, faults_b = Chaos.corrupt ~seed:42 input in
+  Alcotest.(check bool) "same corruption" true (input_eq a b && faults_a = faults_b);
+  Alcotest.(check bool) "at least one fault" true (List.length faults_a >= 1);
+  let distinct =
+    List.exists
+      (fun seed -> not (input_eq (fst (Chaos.corrupt ~seed input)) a))
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  Alcotest.(check bool) "seeds explore different corruptions" true distinct
+
+(* The chaos contract, over 150 seeds: corrupt a problem, hand the raw
+   statistics to the guard, and require either [Ok] with a plan that
+   validates against the SANITIZED inputs at the advertised cost, or a
+   typed error — never an exception. *)
+let prop_chaos_never_breaks_guard =
+  QCheck2.Test.make ~count:150 ~name:"guard survives chaos-corrupted inputs"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = 2 + Rng.int rng 7 in
+      let input = base_input ~n in
+      let corrupted, _faults = Chaos.corrupt ~seed ~faults:(1 + Rng.int rng 3) input in
+      match
+        Guard.optimize_input Cost_model.kdnl ~relations:corrupted.Chaos.relations
+          ~edges:corrupted.Chaos.edges ()
+      with
+      | Error _ -> true
+      | Ok o ->
+        validate_against o.Guard.catalog o.Guard.plan
+        && Blitz_util.Float_more.approx_equal ~rel:1e-6 o.Guard.cost
+             (Plan.cost Cost_model.kdnl o.Guard.catalog o.Guard.graph o.Guard.plan)
+      | exception e ->
+        QCheck2.Test.fail_reportf "guard raised %s on seed %d" (Printexc.to_string e) seed)
+
+let suite =
+  [
+    Alcotest.test_case "budget basics" `Quick test_budget_basics;
+    Alcotest.test_case "lenient sanitization repairs" `Quick test_sanitize_lenient_repairs;
+    Alcotest.test_case "strict sanitization rejects" `Quick test_sanitize_strict_rejects;
+    Alcotest.test_case "all input defects reported" `Quick test_sanitize_collects_all_errors;
+    Alcotest.test_case "deadline degrades to greedy with provenance" `Quick
+      test_deadline_degrades_to_greedy;
+    Alcotest.test_case "memory ceiling skips DP tiers" `Quick test_memory_cap_skips_to_hybrid;
+    Alcotest.test_case "no budget: identical to blitzsplit" `Quick test_unbudgeted_matches_exact;
+    Alcotest.test_case "every tier valid and bounded by the optimum" `Quick
+      test_every_tier_valid_and_bounded;
+    Alcotest.test_case "cascade without terminal tier fails loudly" `Quick
+      test_cascade_without_terminal_tier;
+    Alcotest.test_case "chaos is deterministic per seed" `Quick test_chaos_deterministic;
+    QCheck_alcotest.to_alcotest prop_chaos_never_breaks_guard;
+  ]

@@ -153,6 +153,30 @@ let test_bind_errors () =
   expect_error "CREATE TABLE a (CARDINALITY 5);\nCREATE TABLE b (CARDINALITY 5);\n\
                 SELECT * FROM a, b WHERE a.x = b.x {1.5};" "exceeds 1"
 
+(* Statistics the parser's syntactic checks let through (overflowing
+   literals) must surface as positioned binding errors — never as an
+   untyped [Invalid_argument] escaping from catalog or graph
+   construction. *)
+let test_bind_bad_statistics () =
+  let expect_error text fragment =
+    match Binder.parse_and_bind text with
+    | Ok _ -> Alcotest.failf "expected binding failure for %S" text
+    | Error msg ->
+      let contains =
+        let nl = String.length fragment and dl = String.length msg in
+        let rec scan i = i + nl <= dl && (String.sub msg i nl = fragment || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "%S mentions %S" msg fragment) true contains
+    | exception e -> Alcotest.failf "binder raised %s for %S" (Printexc.to_string e) text
+  in
+  (* 1e400 overflows to infinity: positive, so the parser admits it. *)
+  expect_error "CREATE TABLE t (CARDINALITY 1e400);\nSELECT * FROM t;" "invalid cardinality inf";
+  expect_error
+    "CREATE TABLE a (CARDINALITY 5);\nCREATE TABLE b (CARDINALITY 5);\n\
+     SELECT * FROM a, b WHERE a.x = b.x {1e400};"
+    "exceeds 1"
+
 let test_order_by () =
   let text =
     "CREATE TABLE a (CARDINALITY 100);\n\
@@ -225,6 +249,8 @@ let suite =
     Alcotest.test_case "self-join via alias" `Quick test_bind_self_join_via_alias;
     Alcotest.test_case "conjoined predicates multiply" `Quick test_bind_conjoined_predicates;
     Alcotest.test_case "binder errors" `Quick test_bind_errors;
+    Alcotest.test_case "binder rejects bad statistics with positions" `Quick
+      test_bind_bad_statistics;
     Alcotest.test_case "ORDER BY binds to an edge" `Quick test_order_by;
     Alcotest.test_case "ORDER BY errors" `Quick test_order_by_errors;
     Alcotest.test_case "bind and optimize end-to-end" `Quick test_bind_and_optimize;

@@ -41,6 +41,21 @@ let test_multipass_recovers_optimum () =
   Alcotest.(check int) "pass count" 5 outcome.Threshold.passes;
   check_float "final threshold" 1e6 outcome.Threshold.final_threshold
 
+let test_rescue_pass_accounting () =
+  (* With max_passes = 1 and a hopeless threshold, the single thresholded
+     pass fails and the driver runs the forced unthresholded rescue pass.
+     [passes] must count BOTH (thresholded + rescue = 2) and agree with
+     the per-pass instrumentation; the rescue pass reports threshold
+     infinity and still recovers the exact optimum. *)
+  let counters = Counters.create () in
+  let outcome =
+    Threshold.optimize_product ~counters ~max_passes:1 ~threshold:1.0 Cost_model.naive abcd_catalog
+  in
+  Alcotest.(check int) "thresholded pass + rescue pass" 2 outcome.Threshold.passes;
+  Alcotest.(check int) "counters agree" 2 counters.Counters.passes;
+  check_float "rescue is unthresholded" Float.infinity outcome.Threshold.final_threshold;
+  check_float "optimum recovered" 241000.0 (Blitzsplit.best_cost outcome.Threshold.result)
+
 let test_threshold_skips_counted () =
   let counters = Counters.create () in
   let _ =
@@ -144,6 +159,7 @@ let suite =
     Alcotest.test_case "threshold below optimum: infeasible" `Quick
       test_threshold_below_optimum_fails_single_pass;
     Alcotest.test_case "multi-pass recovers the optimum" `Quick test_multipass_recovers_optimum;
+    Alcotest.test_case "rescue pass is counted consistently" `Quick test_rescue_pass_accounting;
     Alcotest.test_case "skip counters" `Quick test_threshold_skips_counted;
     Alcotest.test_case "thresholds reduce split-loop work" `Quick test_threshold_reduces_work;
     Alcotest.test_case "argument validation" `Quick test_invalid_arguments;
