@@ -12,6 +12,7 @@ module Catalog = Blitz_catalog.Catalog
 module Cost_model = Blitz_cost.Cost_model
 module Blitzsplit = Blitz_core.Blitzsplit
 module Linfit = Blitz_util.Linfit
+module Json = Blitz_util.Json
 
 let run () =
   Bench_config.header "Figure 2: Cartesian product optimization times (kappa_0, equal cardinalities)";
@@ -40,6 +41,15 @@ let run () =
   Blitz_util.Ascii_table.print
     ~header:[| "n"; "measured (s)"; "formula (3) fit (s)"; "fit error" |]
     rows;
+  Array.iteri
+    (fun i n ->
+      Bench_json.emit ~experiment:"fig2"
+        [
+          ("n", Json.Int n);
+          ("measured_s", Json.Float times.(i));
+          ("fitted_s", Json.Float (Linfit.eval_formula3 ~t_loop ~t_cond ~t_subset n));
+        ])
+    ns;
   let predicted = Array.map (fun n -> Linfit.eval_formula3 ~t_loop ~t_cond ~t_subset n) ns in
   Printf.printf
     "\nfitted constants: T_loop = %.1f ns, T_cond = %.1f ns, T_subset = %.1f ns (R^2 = %.5f)\n"

@@ -31,6 +31,7 @@ module Rng = Blitz_util.Rng
 module Guard = Blitz_guard.Guard
 module Budget = Blitz_guard.Budget
 module Degrade = Blitz_guard.Degrade
+module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
 
 (* ---- shared converters ---- *)
 
@@ -195,6 +196,16 @@ let optimize_cmd =
                 Queries whose table would not fit skip straight to table-free tiers \
                 (implies --degrade).")
   in
+  let num_domains_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "num-domains" ] ~docv:"N"
+          ~doc:"Run the exhaustive DP rank-parallel on N OCaml domains (0 means the \
+                runtime-recommended count).  The chosen plan and cost are bit-identical to \
+                the sequential search at any N.  Applies to the plain, --threshold and \
+                --degrade paths.")
+  in
   let physical_arg =
     Arg.(
       value & flag
@@ -202,8 +213,16 @@ let optimize_cmd =
           ~doc:"Optimize with interesting sort orders (Section 6.5 extension): print a                 physical plan with sorts, merge joins and nested loops.  Honors the                 query's ORDER BY.")
   in
   let run problem model threshold growth dump_table annotate execute seed physical hybrid degrade
-      deadline_ms max_table_mb =
+      deadline_ms max_table_mb num_domains =
     let names = Catalog.names problem.catalog in
+    let num_domains =
+      if num_domains = 0 then Parallel_blitzsplit.recommended_domains ()
+      else if num_domains < 0 || num_domains > 128 then begin
+        Printf.eprintf "blitz: --num-domains %d outside [0, 128]\n" num_domains;
+        exit 1
+      end
+      else num_domains
+    in
     (* Any budget flag implies the resilient driver: a deadline or memory
        ceiling is only enforceable when degradation is allowed. *)
     if degrade || deadline_ms <> None || max_table_mb <> None then begin
@@ -218,7 +237,7 @@ let optimize_cmd =
           Printf.eprintf "blitz: %s\n" msg;
           exit 1
       in
-      match Guard.optimize ~budget ~seed model problem.catalog problem.graph with
+      match Guard.optimize ~budget ~seed ~num_domains model problem.catalog problem.graph with
       | Error e ->
         Printf.eprintf "blitz: %s\n" (Guard.error_message e);
         exit 1
@@ -275,17 +294,27 @@ let optimize_cmd =
         (Catalog.n problem.catalog) Dp_table.max_relations;
       exit 1
     end;
-    let t0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
     let result, passes =
       match threshold with
-      | None -> (Blitzsplit.optimize_join model problem.catalog problem.graph, 1)
+      | None ->
+        if num_domains > 1 then
+          (Parallel_blitzsplit.optimize_join ~num_domains model problem.catalog problem.graph, 1)
+        else (Blitzsplit.optimize_join model problem.catalog problem.graph, 1)
       | Some t ->
-        let outcome = Threshold.optimize_join ~growth ~threshold:t model problem.catalog problem.graph in
+        let outcome =
+          if num_domains > 1 then
+            Parallel_blitzsplit.threshold_optimize_join ~num_domains ~growth ~threshold:t model
+              problem.catalog problem.graph
+          else
+            Threshold.optimize_join ~growth ~threshold:t model problem.catalog problem.graph
+        in
         (outcome.Threshold.result, outcome.Threshold.passes)
     in
-    let elapsed = Sys.time () -. t0 in
+    let elapsed = Unix.gettimeofday () -. t0 in
     Printf.printf "query:      %s\n" problem.label;
     Printf.printf "model:      %s\n" model.Cost_model.name;
+    if num_domains > 1 then Printf.printf "domains:    %d (rank-parallel DP)\n" num_domains;
     let plan = Blitzsplit.best_plan_exn result in
     Printf.printf "plan:       %s\n" (Plan.to_compact_string ~names plan);
     Printf.printf "cost:       %g\n" (Blitzsplit.best_cost result);
@@ -331,7 +360,7 @@ let optimize_cmd =
     Term.(
       const run $ problem_term $ model_arg $ threshold_arg $ growth_arg $ dump_table_arg
       $ annotate_arg $ execute_arg $ seed_arg $ physical_arg $ hybrid_arg $ degrade_arg
-      $ deadline_ms_arg $ max_table_mb_arg)
+      $ deadline_ms_arg $ max_table_mb_arg $ num_domains_arg)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a join query with the blitzsplit algorithm")

@@ -13,35 +13,6 @@ type t = {
   threshold : float;
 }
 
-(* compute_properties for join optimization (Section 5.4): the fan
-   recurrence Pi_fan(S) = Pi_fan(U+W) * Pi_fan(U+Z), seeded with raw
-   predicate selectivities on doubletons, then
-   card(S) = card(U) * card(V) * Pi_fan(S)  (Equation 11). *)
-let compute_properties_join (tbl : Dp_table.t) (model : Cost_model.t) graph s =
-  let u = s land (-s) in
-  let v = s lxor u in
-  let fan =
-    if v land (v - 1) = 0 then Join_graph.selectivity graph (Relset.min_elt u) (Relset.min_elt v)
-    else begin
-      let w = v land (-v) in
-      let z = v lxor w in
-      tbl.pi_fan.(u lor w) *. tbl.pi_fan.(u lor z)
-    end
-  in
-  tbl.pi_fan.(s) <- fan;
-  let c = tbl.card.(u) *. tbl.card.(v) *. fan in
-  tbl.card.(s) <- c;
-  tbl.aux.(s) <- model.aux c
-
-(* compute_properties for Cartesian products (Figure 1): just the
-   cardinality product. *)
-let compute_properties_product (tbl : Dp_table.t) (model : Cost_model.t) s =
-  let u = s land (-s) in
-  let v = s lxor u in
-  let c = tbl.card.(u) *. tbl.card.(v) in
-  tbl.card.(s) <- c;
-  tbl.aux.(s) <- model.aux c
-
 exception Interrupted
 
 (* How often the cancellation probe fires: every [probe_mask + 1] subsets.
@@ -65,7 +36,7 @@ let run ~graph_opt ?counters ?(threshold = Float.infinity) ?interrupt model cata
   in
   let ctr = match counters with Some c -> c | None -> Counters.create () in
   ctr.passes <- ctr.passes + 1;
-  let tbl = Dp_table.create n in
+  let tbl = Dp_table.create ~with_pi_fan:(Option.is_some graph_opt) n in
   Split_loop.init_singletons tbl model catalog;
   let last = (1 lsl n) - 1 in
   let probe =
@@ -78,7 +49,7 @@ let run ~graph_opt ?counters ?(threshold = Float.infinity) ?interrupt model cata
     for s = 3 to last do
       if s land (s - 1) <> 0 then begin
         probe s;
-        compute_properties_join tbl model graph s;
+        Split_loop.compute_properties_join tbl model graph s;
         Split_loop.find_best_split tbl model ctr ~threshold s
       end
     done
@@ -86,7 +57,7 @@ let run ~graph_opt ?counters ?(threshold = Float.infinity) ?interrupt model cata
     for s = 3 to last do
       if s land (s - 1) <> 0 then begin
         probe s;
-        compute_properties_product tbl model s;
+        Split_loop.compute_properties_product tbl model s;
         Split_loop.find_best_split tbl model ctr ~threshold s
       end
     done);

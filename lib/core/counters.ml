@@ -33,6 +33,16 @@ let reset t =
 
 let copy t = { t with subsets = t.subsets }
 
+let merge_into ~from ~into =
+  into.subsets <- into.subsets + from.subsets;
+  into.loop_iters <- into.loop_iters + from.loop_iters;
+  into.operand_sums <- into.operand_sums + from.operand_sums;
+  into.dprime_evals <- into.dprime_evals + from.dprime_evals;
+  into.improvements <- into.improvements + from.improvements;
+  into.threshold_skips <- into.threshold_skips + from.threshold_skips;
+  into.infeasible <- into.infeasible + from.infeasible;
+  into.passes <- into.passes + from.passes
+
 let exact_loop_iters n =
   if n < 1 then invalid_arg "Counters.exact_loop_iters: n must be positive";
   let rec pow base k acc = if k = 0 then acc else pow base (k - 1) (acc * base) in

@@ -34,6 +34,12 @@ val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
 
+val merge_into : from:t -> into:t -> unit
+(** Add every field of [from] into [into].  All fields are plain sums of
+    per-subset events, so merging per-domain counters at a barrier gives
+    exactly the sequential counts regardless of how subsets were
+    scheduled (the rank-parallel driver relies on this). *)
+
 (** {1 Analytic predictions (Section 3.3)} *)
 
 val exact_loop_iters : int -> int

@@ -12,7 +12,7 @@ type t = {
 
 let max_relations = 24
 
-let create n =
+let create ?(with_pi_fan = true) n =
   if n < 1 || n > max_relations then
     invalid_arg (Printf.sprintf "Dp_table.create: n = %d outside [1, %d]" n max_relations);
   let slots = 1 lsl n in
@@ -21,9 +21,13 @@ let create n =
     card = Array.make slots 0.0;
     cost = Array.make slots Float.infinity;
     best_lhs = Array.make slots 0;
-    pi_fan = Array.make slots 1.0;
+    (* The fan column is read only on the join path; the Cartesian-product
+       optimizer leaves it out entirely, saving 8 * 2^n bytes. *)
+    pi_fan = (if with_pi_fan then Array.make slots 1.0 else [||]);
     aux = Array.make slots 0.0;
   }
+
+let has_pi_fan t = Array.length t.pi_fan > 0
 
 let size t = 1 lsl t.n
 
@@ -36,7 +40,7 @@ let check_set t s =
 let card t s = check_set t s; t.card.(s)
 let cost t s = check_set t s; t.cost.(s)
 let best_lhs t s = check_set t s; t.best_lhs.(s)
-let pi_fan t s = check_set t s; t.pi_fan.(s)
+let pi_fan t s = check_set t s; if has_pi_fan t then t.pi_fan.(s) else 1.0
 
 let is_feasible t s = Float.is_finite (cost t s)
 

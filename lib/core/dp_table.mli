@@ -13,7 +13,8 @@
     - [best_lhs]: left operand set of the best split ([0] for singletons
       and infeasible entries);
     - [pi_fan]: the fan selectivity product of Section 5.3 (join
-      optimization only; [1] throughout for Cartesian products);
+      optimization only; the Cartesian-product path never reads it, so
+      the column can be left unallocated — see {!create});
     - [aux]: per-subset memo for the cost model (e.g. [c(1+log c)] for
       sort-merge, as the appendix suggests). *)
 
@@ -34,9 +35,15 @@ type t = private {
 val max_relations : int
 (** Hard cap on [n] (24): the table takes [5 * 8 * 2^n] bytes. *)
 
-val create : int -> t
-(** [create n] allocates the table for [n] relations.  Raises
-    [Invalid_argument] when [n] is outside [\[1, max_relations\]]. *)
+val create : ?with_pi_fan:bool -> int -> t
+(** [create n] allocates the table for [n] relations.  With
+    [~with_pi_fan:false] the fan column stays unallocated ([[||]]) —
+    correct for Cartesian-product optimization, which never reads it,
+    and 8 * 2^n bytes lighter.  Raises [Invalid_argument] when [n] is
+    outside [\[1, max_relations\]]. *)
+
+val has_pi_fan : t -> bool
+(** Whether the fan column was allocated. *)
 
 val size : t -> int
 (** Number of slots, [2^n]. *)

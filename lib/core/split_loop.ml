@@ -1,5 +1,14 @@
+module Relset = Blitz_bitset.Relset
 module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
 module Cost_model = Blitz_cost.Cost_model
+
+(* Hot-path array accesses use [unsafe_get]/[unsafe_set]: every index is
+   a nonempty subset of the n relations, i.e. an integer in [1, 2^n), and
+   the arrays have exactly 2^n slots — [lhs] and its complement are
+   nonempty proper subsets of [s], and [s] itself is below [2^n] by
+   construction of the enumeration loops.  The checked variants cost ~15%
+   of the split loop on this kernel (two bounds tests per iteration). *)
 
 (* The split loop of find_best_split (Figure 1, realized per Section 4.2).
    [lhs] walks all nonempty proper subsets of [s] via the successor trick;
@@ -8,14 +17,14 @@ module Cost_model = Blitz_cost.Cost_model
 let find_best_split (tbl : Dp_table.t) (model : Cost_model.t) (ctr : Counters.t) ~threshold s =
   let cost = tbl.cost and card = tbl.card and aux = tbl.aux in
   ctr.subsets <- ctr.subsets + 1;
-  let out = card.(s) in
+  let out = Array.unsafe_get card s in
   let kp = model.k_prime out in
   if kp >= threshold then begin
     (* kappa' alone already "overflows": skip the loop entirely. *)
     ctr.threshold_skips <- ctr.threshold_skips + 1;
     ctr.infeasible <- ctr.infeasible + 1;
-    tbl.cost.(s) <- Float.infinity;
-    tbl.best_lhs.(s) <- 0
+    Array.unsafe_set cost s Float.infinity;
+    Array.unsafe_set tbl.best_lhs s 0
   end
   else begin
     let k_dprime = model.k_dprime in
@@ -29,10 +38,10 @@ let find_best_split (tbl : Dp_table.t) (model : Cost_model.t) (ctr : Counters.t)
     while !lhs <> s do
       incr iters;
       let l = !lhs in
-      let cl = cost.(l) in
+      let cl = Array.unsafe_get cost l in
       if cl < !best_cost_so_far then begin
         let r = s lxor l in
-        let cr = cost.(r) in
+        let cr = Array.unsafe_get cost r in
         if cr < !best_cost_so_far then begin
           ctr.operand_sums <- ctr.operand_sums + 1;
           let oprnd_cost = cl +. cr in
@@ -42,7 +51,9 @@ let find_best_split (tbl : Dp_table.t) (model : Cost_model.t) (ctr : Counters.t)
               else begin
                 ctr.dprime_evals <- ctr.dprime_evals + 1;
                 oprnd_cost
-                +. k_dprime ~out ~lcard:card.(l) ~rcard:card.(r) ~laux:aux.(l) ~raux:aux.(r)
+                +. k_dprime ~out ~lcard:(Array.unsafe_get card l)
+                     ~rcard:(Array.unsafe_get card r) ~laux:(Array.unsafe_get aux l)
+                     ~raux:(Array.unsafe_get aux r)
               end
             in
             if dpnd_cost < !best_cost_so_far then begin
@@ -58,24 +69,56 @@ let find_best_split (tbl : Dp_table.t) (model : Cost_model.t) (ctr : Counters.t)
     ctr.loop_iters <- ctr.loop_iters + !iters;
     if !best_lhs = 0 then begin
       ctr.infeasible <- ctr.infeasible + 1;
-      tbl.cost.(s) <- Float.infinity;
-      tbl.best_lhs.(s) <- 0
+      Array.unsafe_set cost s Float.infinity;
+      Array.unsafe_set tbl.best_lhs s 0
     end
     else begin
-      tbl.cost.(s) <- !best_cost_so_far +. kp;
-      tbl.best_lhs.(s) <- !best_lhs
+      Array.unsafe_set cost s (!best_cost_so_far +. kp);
+      Array.unsafe_set tbl.best_lhs s !best_lhs
     end
   end
 
+(* compute_properties for join optimization (Section 5.4): the fan
+   recurrence Pi_fan(S) = Pi_fan(U+W) * Pi_fan(U+Z), seeded with raw
+   predicate selectivities on doubletons, then
+   card(S) = card(U) * card(V) * Pi_fan(S)  (Equation 11). *)
+let compute_properties_join (tbl : Dp_table.t) (model : Cost_model.t) graph s =
+  let pi_fan = tbl.pi_fan and card = tbl.card in
+  let u = s land (-s) in
+  let v = s lxor u in
+  let fan =
+    if v land (v - 1) = 0 then Join_graph.selectivity graph (Relset.min_elt u) (Relset.min_elt v)
+    else begin
+      let w = v land (-v) in
+      let z = v lxor w in
+      Array.unsafe_get pi_fan (u lor w) *. Array.unsafe_get pi_fan (u lor z)
+    end
+  in
+  Array.unsafe_set pi_fan s fan;
+  let c = Array.unsafe_get card u *. Array.unsafe_get card v *. fan in
+  Array.unsafe_set card s c;
+  Array.unsafe_set tbl.aux s (model.aux c)
+
+(* compute_properties for Cartesian products (Figure 1): just the
+   cardinality product.  Never touches [pi_fan] (which the product path
+   leaves unallocated). *)
+let compute_properties_product (tbl : Dp_table.t) (model : Cost_model.t) s =
+  let card = tbl.card in
+  let u = s land (-s) in
+  let v = s lxor u in
+  let c = Array.unsafe_get card u *. Array.unsafe_get card v in
+  Array.unsafe_set card s c;
+  Array.unsafe_set tbl.aux s (model.aux c)
+
 let init_singletons (tbl : Dp_table.t) (model : Cost_model.t) catalog =
   let n = Catalog.n catalog in
+  let fan = Dp_table.has_pi_fan tbl in
   for i = 0 to n - 1 do
     let s = 1 lsl i in
     let c = Catalog.card catalog i in
     tbl.card.(s) <- c;
     tbl.cost.(s) <- 0.0;
     tbl.best_lhs.(s) <- 0;
-    tbl.pi_fan.(s) <- 1.0;
+    if fan then tbl.pi_fan.(s) <- 1.0;
     tbl.aux.(s) <- model.aux c
   done
-

@@ -61,6 +61,20 @@ val optimize_product :
   Catalog.t ->
   outcome
 
+val drive :
+  ?counters:Counters.t ->
+  ?growth:float ->
+  ?max_passes:int ->
+  threshold:float ->
+  (counters:Counters.t -> threshold:float -> Blitzsplit.t) ->
+  outcome
+(** The raw multi-pass driver behind {!optimize_join}/{!optimize_product},
+    exposed so alternative pass implementations — notably the
+    rank-parallel [Parallel_blitzsplit] in [blitz_parallel] — reuse the
+    exact threshold-escalation and rescue-pass policy.  The callback runs
+    one optimization pass at the given threshold, accumulating into the
+    supplied counters. *)
+
 (** {1 Variant optimizers}
 
     The same multi-pass driver over the equivalence-class and hypergraph

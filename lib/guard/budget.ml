@@ -2,6 +2,13 @@ type t = {
   deadline_ms : float option;
   max_table_bytes : int option;
   mutable armed_at : float;  (* Unix.gettimeofday at the last [start]. *)
+  tripped : bool Atomic.t;
+      (* Latched true the first time any probe observes the deadline
+         passed.  Domain-safe: rank-parallel optimization polls the
+         probe from every worker domain; once one domain trips the
+         latch, every other domain sees [expired] without touching the
+         (unsynchronized) [armed_at] field or the clock.  The flag is
+         set exactly once per arming — [start] is the only reset. *)
 }
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
@@ -15,11 +22,13 @@ let create ?deadline_ms ?max_table_bytes () =
   | Some b when b <= 0 ->
     invalid_arg (Blitz_util.Err.format ~scope:"Budget.create" "memory ceiling %d B is not positive" b)
   | _ -> ());
-  { deadline_ms; max_table_bytes; armed_at = now_ms () }
+  { deadline_ms; max_table_bytes; armed_at = now_ms (); tripped = Atomic.make false }
 
 let unlimited () = create ()
 
-let start t = t.armed_at <- now_ms ()
+let start t =
+  t.armed_at <- now_ms ();
+  Atomic.set t.tripped false
 
 let deadline_ms t = t.deadline_ms
 
@@ -30,21 +39,34 @@ let elapsed_ms t = now_ms () -. t.armed_at
 let remaining_ms t =
   match t.deadline_ms with None -> Float.infinity | Some d -> d -. elapsed_ms t
 
-let expired t = match t.deadline_ms with None -> false | Some _ -> remaining_ms t <= 0.0
+let expired t =
+  match t.deadline_ms with
+  | None -> false
+  | Some _ ->
+    Atomic.get t.tripped
+    ||
+    if remaining_ms t <= 0.0 then begin
+      Atomic.set t.tripped true;
+      true
+    end
+    else false
 
 let interrupt t () = expired t
 
-(* The DP table is a struct of five flat arrays (card, cost, best_lhs,
-   pi_fan, aux) of 2^n 8-byte slots — 40 * 2^n bytes, the same shape as
-   the paper's 16-byte rows, widened by the fan and aux columns.  The
-   estimate is computed BEFORE allocation so an oversized query is
-   rejected instead of taking down the process. *)
-let bytes_per_slot = 40
-
-let table_bytes ~n =
+(* The DP table is a struct of flat arrays of 2^n 8-byte slots — card,
+   cost, best_lhs and aux always, plus pi_fan on the join path (the
+   Cartesian-product optimizer leaves the fan column unallocated, see
+   Dp_table.create) — the same shape as the paper's 16-byte rows,
+   widened by the extra columns.  The estimate is computed BEFORE
+   allocation so an oversized query is rejected instead of taking down
+   the process. *)
+let table_bytes ?(with_pi_fan = true) ~n () =
+  let bytes_per_slot = if with_pi_fan then 40 else 32 in
   if n < 1 then invalid_arg "Budget.table_bytes: n must be positive"
   else if n >= 50 then max_int (* 40 * 2^50 already overflows any ceiling we accept *)
   else bytes_per_slot * (1 lsl n)
 
-let admits_table t ~n =
-  match t.max_table_bytes with None -> true | Some limit -> table_bytes ~n <= limit
+let admits_table ?with_pi_fan t ~n =
+  match t.max_table_bytes with
+  | None -> true
+  | Some limit -> table_bytes ?with_pi_fan ~n () <= limit

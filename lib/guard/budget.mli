@@ -19,7 +19,8 @@ val create : ?deadline_ms:float -> ?max_table_bytes:int -> unit -> t
 val unlimited : unit -> t
 
 val start : t -> unit
-(** (Re-)arm the deadline clock at the current time. *)
+(** (Re-)arm the deadline clock at the current time and clear the
+    expiry latch. *)
 
 val deadline_ms : t -> float option
 val max_table_bytes : t -> int option
@@ -31,20 +32,31 @@ val remaining_ms : t -> float
 (** [infinity] when no deadline was set. *)
 
 val expired : t -> bool
+(** Whether the deadline has passed.  Expiry latches through an
+    [Atomic.t] flag set exactly once per arming: the first probe (from
+    any domain) to observe the deadline passed trips it, and every
+    later probe — on any domain — returns [true] from the flag alone.
+    This makes the probe safe to poll concurrently from a rank-parallel
+    optimization's worker domains, with one clock read per poll until
+    the trip and none after. *)
 
 val interrupt : t -> unit -> bool
 (** [interrupt t] is the cancellation probe to hand to
-    [Blitzsplit.optimize_join ~interrupt] and friends: a closure
+    [Blitzsplit.optimize_join ~interrupt] and friends — including the
+    rank-parallel [Parallel_blitzsplit], which polls it from every
+    worker domain (see {!expired} for why that is safe): a closure
     returning [true] once the deadline has passed.  One
     [Unix.gettimeofday] call per poll; the optimizers already rate-limit
     polling (every 64 subsets), so no further caching is needed. *)
 
-val table_bytes : n:int -> int
+val table_bytes : ?with_pi_fan:bool -> n:int -> unit -> int
 (** Estimated footprint of the blitzsplit DP table for [n] relations:
     [40 * 2^n] bytes (five 8-byte columns per subset — the paper's
-    16-byte rows plus the fan and cost-model-memo columns).  Saturates
-    at [max_int] for [n >= 50]. *)
+    16-byte rows plus the fan and cost-model-memo columns), or
+    [32 * 2^n] with [~with_pi_fan:false] (the Cartesian-product path,
+    whose table never allocates the fan column).  Saturates at
+    [max_int] for [n >= 50]. *)
 
-val admits_table : t -> n:int -> bool
+val admits_table : ?with_pi_fan:bool -> t -> n:int -> bool
 (** Whether the table for [n] relations fits under the ceiling (always
     true when no ceiling was set). *)

@@ -6,6 +6,7 @@ module Blitzsplit = Blitz_core.Blitzsplit
 module Threshold = Blitz_core.Threshold
 module Dp_table = Blitz_core.Dp_table
 module Hybrid = Blitz_hybrid.Hybrid
+module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
 module B = Blitz_baselines
 module Rng = Blitz_util.Rng
 
@@ -85,7 +86,7 @@ let eligibility ~budget tier catalog graph =
       Some
         (Memory
            {
-             needed_bytes = Budget.table_bytes ~n;
+             needed_bytes = Budget.table_bytes ~n ();
              limit_bytes = Option.value ~default:max_int (Budget.max_table_bytes budget);
            })
     else None
@@ -97,7 +98,7 @@ let eligibility ~budget tier catalog graph =
   | Hybrid_windows -> None
   | Ikkbz -> if B.Ikkbz.is_tree graph then None else Some (Not_applicable "join graph is not a tree")
 
-let run_tier ~budget ~seed tier model catalog graph =
+let run_tier ?(num_domains = 1) ~budget ~seed tier model catalog graph =
   let interrupt = Budget.interrupt budget in
   (* A plan with an overflowed (infinite) cost estimate is still a valid
      join order and better than nothing; only NaN — or no plan at all —
@@ -108,7 +109,15 @@ let run_tier ~budget ~seed tier model catalog graph =
   in
   match tier with
   | Exact -> (
-    match Blitzsplit.optimize_join ~interrupt model catalog graph with
+    (* With several domains the DP runs rank-parallel; the result — cost
+       and plan — is bit-identical to the sequential search, so the tier
+       keeps its "exact" meaning (Budget.interrupt is domain-safe). *)
+    let optimize () =
+      if num_domains > 1 then
+        Parallel_blitzsplit.optimize_join ~num_domains ~interrupt model catalog graph
+      else Blitzsplit.optimize_join ~interrupt model catalog graph
+    in
+    match optimize () with
     | result -> finish (Blitzsplit.best_plan result, Blitzsplit.best_cost result)
     | exception Blitzsplit.Interrupted -> Error Deadline)
   | Thresholded -> (
@@ -120,7 +129,13 @@ let run_tier ~budget ~seed tier model catalog graph =
       if Float.is_finite greedy_cost && greedy_cost > 0.0 then greedy_cost *. (1.0 +. 1e-9)
       else 1e6
     in
-    match Threshold.optimize_join ~interrupt ~threshold model catalog graph with
+    let optimize () =
+      if num_domains > 1 then
+        Parallel_blitzsplit.threshold_optimize_join ~num_domains ~interrupt ~threshold model
+          catalog graph
+      else Threshold.optimize_join ~interrupt ~threshold model catalog graph
+    in
+    match optimize () with
     | outcome ->
       finish
         ( Blitzsplit.best_plan outcome.Threshold.result,
@@ -142,7 +157,7 @@ let run_tier ~budget ~seed tier model catalog graph =
     let plan, cost = B.Greedy.optimize model catalog graph in
     finish (Some plan, cost)
 
-let optimize ?(cascade = default_cascade) ?(seed = 1) ~budget model catalog graph =
+let optimize ?(cascade = default_cascade) ?(seed = 1) ?num_domains ~budget model catalog graph =
   let t_start = Budget.elapsed_ms budget in
   let rec go attempts = function
     | [] -> Error (List.rev attempts)
@@ -152,7 +167,7 @@ let optimize ?(cascade = default_cascade) ?(seed = 1) ~budget model catalog grap
         go ({ tier; status = Skipped reason; elapsed_ms = 0.0 } :: attempts) rest
       | None -> (
         let t0 = Budget.elapsed_ms budget in
-        match run_tier ~budget ~seed tier model catalog graph with
+        match run_tier ?num_domains ~budget ~seed tier model catalog graph with
         | Ok (plan, cost) ->
           let elapsed_ms = Budget.elapsed_ms budget -. t0 in
           let attempts = List.rev ({ tier; status = Produced cost; elapsed_ms } :: attempts) in

@@ -70,6 +70,7 @@ val eligibility : budget:Budget.t -> tier -> Catalog.t -> Join_graph.t -> skip_r
     eligible. *)
 
 val run_tier :
+  ?num_domains:int ->
   budget:Budget.t ->
   seed:int ->
   tier ->
@@ -79,12 +80,16 @@ val run_tier :
   (Plan.t * float, failure) result
 (** Run one tier in isolation (eligibility is the caller's business —
     see {!eligibility}).  [seed] feeds the hybrid tier's generator.
-    Exposed so tests can compare every tier's plan against the exact
-    optimum. *)
+    With [num_domains > 1] (default 1) the {!Exact} and {!Thresholded}
+    DP tiers run rank-parallel on that many domains — bit-identical
+    results, so tier semantics are unchanged; the other tiers are
+    table-free fallbacks and stay single-domain.  Exposed so tests can
+    compare every tier's plan against the exact optimum. *)
 
 val optimize :
   ?cascade:tier list ->
   ?seed:int ->
+  ?num_domains:int ->
   budget:Budget.t ->
   Cost_model.t ->
   Catalog.t ->
@@ -92,4 +97,5 @@ val optimize :
   (Plan.t * provenance, attempt list) result
 (** Walk the cascade under the (already armed) budget.  [Error attempts]
     — possible only with a custom [cascade] that omits {!Greedy} — still
-    reports why every tier declined. *)
+    reports why every tier declined.  [num_domains] is forwarded to the
+    DP tiers (see {!run_tier}). *)

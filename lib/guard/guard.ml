@@ -37,27 +37,27 @@ let pp_error ppf e = Format.pp_print_string ppf (error_message e)
    catch-all converts any escaped exception — there should be none, but
    a resilient driver does not get to assume that — into a typed error
    rather than unwinding through the caller. *)
-let drive ~budget ~cascade ~seed model catalog graph repairs =
+let drive ~budget ~cascade ~seed ~num_domains model catalog graph repairs =
   Budget.start budget;
-  match Degrade.optimize ?cascade ?seed ~budget model catalog graph with
+  match Degrade.optimize ?cascade ?seed ?num_domains ~budget model catalog graph with
   | Ok (plan, provenance) ->
     Ok { plan; cost = provenance.Degrade.winner_cost; provenance; repairs; catalog; graph }
   | Error attempts -> Error (No_tier_produced attempts)
   | exception exn -> Error (Internal (Printexc.to_string exn))
 
-let optimize ?budget ?cascade ?seed model catalog graph =
+let optimize ?budget ?cascade ?seed ?num_domains model catalog graph =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   match Sanitize.check_pair catalog graph with
   | Error issues -> Error (Invalid_input issues)
   | Ok clean ->
-    drive ~budget ~cascade ~seed model clean.Sanitize.catalog clean.Sanitize.graph
+    drive ~budget ~cascade ~seed ~num_domains model clean.Sanitize.catalog clean.Sanitize.graph
       clean.Sanitize.repairs
 
-let optimize_input ?budget ?policy ?cascade ?seed model ~relations ~edges () =
+let optimize_input ?budget ?policy ?cascade ?seed ?num_domains model ~relations ~edges () =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   match Sanitize.check ?policy ~relations ~edges () with
   | Error issues -> Error (Invalid_input issues)
   | exception exn -> Error (Internal (Printexc.to_string exn))
   | Ok clean ->
-    drive ~budget ~cascade ~seed model clean.Sanitize.catalog clean.Sanitize.graph
+    drive ~budget ~cascade ~seed ~num_domains model clean.Sanitize.catalog clean.Sanitize.graph
       clean.Sanitize.repairs

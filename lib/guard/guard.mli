@@ -40,6 +40,7 @@ val optimize :
   ?budget:Budget.t ->
   ?cascade:Degrade.tier list ->
   ?seed:int ->
+  ?num_domains:int ->
   Cost_model.t ->
   Catalog.t ->
   Join_graph.t ->
@@ -47,13 +48,16 @@ val optimize :
 (** Optimize already-constructed inputs under [budget] (default:
     unlimited).  The budget is re-armed on entry, so one [Budget.t] can
     be reused across calls.  With no deadline and default cascade the
-    result matches [Blitzsplit.optimize_join] exactly. *)
+    result matches [Blitzsplit.optimize_join] exactly — including with
+    [num_domains > 1], which runs the DP tiers rank-parallel on that
+    many domains with bit-identical results (see {!Degrade.run_tier}). *)
 
 val optimize_input :
   ?budget:Budget.t ->
   ?policy:Sanitize.policy ->
   ?cascade:Degrade.tier list ->
   ?seed:int ->
+  ?num_domains:int ->
   Cost_model.t ->
   relations:(string * float) list ->
   edges:(int * int * float) list ->

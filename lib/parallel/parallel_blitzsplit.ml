@@ -1,0 +1,200 @@
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Blitzsplit = Blitz_core.Blitzsplit
+module Dp_table = Blitz_core.Dp_table
+module Split_loop = Blitz_core.Split_loop
+module Counters = Blitz_core.Counters
+module Threshold = Blitz_core.Threshold
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+(* Oversubscription: chunks per rank per domain.  More chunks give the
+   dynamic balancer and the stop flag finer granularity; fewer chunks
+   mean fewer atomic claims and fewer false-sharing boundaries on the
+   table columns.  4 keeps both costs invisible. *)
+let chunk_factor = 4
+
+(* Same cancellation-probe cadence as the sequential optimizer: every 64
+   subsets processed by each domain (see [Blitzsplit.probe_mask]). *)
+let probe_mask = 63
+
+(* Gosper's hack: the next larger integer with the same popcount. *)
+let gosper_next s =
+  let c = s land (-s) in
+  let r = s + c in
+  r lor (((s lxor r) lsr 2) / c)
+
+(* binom.(c).(j) = C(c, j); rows 0..n, columns 0..n. *)
+let binomial_table n =
+  let t = Array.make_matrix (n + 1) (n + 1) 0 in
+  for c = 0 to n do
+    t.(c).(0) <- 1;
+    for j = 1 to c do
+      t.(c).(j) <- t.(c - 1).(j - 1) + t.(c - 1).(j)
+    done
+  done;
+  t
+
+(* The m-th (0-based) k-subset in increasing bitset-integer order, which
+   for fixed popcount is colexicographic order — exactly the order
+   Gosper's hack enumerates.  Standard combinadic unranking: the top
+   element is the largest c with C(c, k) <= m, and so on down. *)
+let unrank_subset binom ~k m =
+  let s = ref 0 in
+  let m = ref m in
+  for j = k downto 1 do
+    let c = ref (j - 1) in
+    while binom.(!c + 1).(j) <= !m do
+      incr c
+    done;
+    s := !s lor (1 lsl !c);
+    m := !m - binom.(!c).(j)
+  done;
+  !s
+
+(* Rank-parallel DP.  Every subset of cardinality k depends only on
+   strictly smaller subsets: compute_properties reads the fan and
+   cardinality of proper subsets (ranks 2 and k-1), and the split loop
+   reads cost/card/aux of proper subsets (ranks < k).  So processing the
+   lattice rank by rank, with a full barrier between ranks, computes
+   byte-for-byte the values the sequential increasing-integer order
+   computes — each entry is a pure function of lower-rank entries, and
+   the per-subset split scan itself is deterministic.  Within a rank,
+   chunks are contiguous colex ranges: writes from different domains
+   land in disjoint, mostly contiguous index intervals of the shared
+   columns, so cross-domain cache-line traffic is confined to the
+   O(chunks) boundary lines.  Counters are per-domain records allocated
+   *inside* each domain (first touch) and merged at the end — no shared
+   hot words at all. *)
+let parallel_run pool ~graph_opt ~ctr ~threshold ~interrupt model catalog graph =
+  let n = Catalog.n catalog in
+  let tbl = Dp_table.create ~with_pi_fan:(Option.is_some graph_opt) n in
+  Split_loop.init_singletons tbl model catalog;
+  let workers = Pool.num_domains pool in
+  let per_domain = Array.make workers None in
+  let domain_counters worker =
+    match per_domain.(worker) with
+    | Some c -> c
+    | None ->
+      let c = Counters.create () in
+      per_domain.(worker) <- Some c;
+      c
+  in
+  let stop_flag = Atomic.make false in
+  let poll, probe =
+    match interrupt with None -> (false, fun () -> false) | Some f -> (true, f)
+  in
+  let compute =
+    match graph_opt with
+    | Some _ -> fun s -> Split_loop.compute_properties_join tbl model graph s
+    | None -> fun s -> Split_loop.compute_properties_product tbl model s
+  in
+  let binom = binomial_table n in
+  let merge_counters () =
+    Array.iter
+      (function Some c -> Counters.merge_into ~from:c ~into:ctr | None -> ())
+      per_domain
+  in
+  (try
+     for k = 2 to n do
+       let count = binom.(n).(k) in
+       let chunks = min count (workers * chunk_factor) in
+       let base = count / chunks and rem = count mod chunks in
+       Pool.run pool ~chunks (fun ~worker c ->
+           if not (Atomic.get stop_flag) then begin
+             let start = (c * base) + min c rem in
+             let len = base + if c < rem then 1 else 0 in
+             let dctr = domain_counters worker in
+             let s = ref (unrank_subset binom ~k start) in
+             let i = ref 0 in
+             let live = ref true in
+             while !live && !i < len do
+               if poll && !i land probe_mask = probe_mask then
+                 if Atomic.get stop_flag then live := false
+                 else if probe () then begin
+                   Atomic.set stop_flag true;
+                   live := false
+                 end;
+               if !live then begin
+                 compute !s;
+                 Split_loop.find_best_split tbl model dctr ~threshold !s;
+                 s := gosper_next !s;
+                 incr i
+               end
+             done
+           end);
+       (* Rank barrier: workers are parked, the table holds every rank
+          <= k.  The coordinator polls the deadline here too, so even a
+          probe-free chunk schedule cannot overshoot by more than one
+          rank's chunks. *)
+       if poll && not (Atomic.get stop_flag) && probe () then Atomic.set stop_flag true;
+       if Atomic.get stop_flag then raise Blitzsplit.Interrupted
+     done
+   with exn ->
+     merge_counters ();
+     raise exn);
+  merge_counters ();
+  tbl
+
+let run ?pool ~num_domains ~graph_opt ?counters ?(threshold = Float.infinity) ?interrupt model
+    catalog =
+  if threshold <= 0.0 then invalid_arg "Parallel_blitzsplit: threshold must be positive";
+  let n = Catalog.n catalog in
+  let graph =
+    match graph_opt with
+    | Some g ->
+      if Join_graph.n g <> n then
+        invalid_arg
+          (Printf.sprintf "Parallel_blitzsplit: graph over %d relations, catalog has %d"
+             (Join_graph.n g) n);
+      g
+    | None -> Join_graph.no_predicates ~n
+  in
+  match (pool, num_domains) with
+  | None, d when d <= 1 -> (
+    (* No pool to amortize and a single domain: the sequential optimizer
+       is the same computation without the pool plumbing. *)
+    match graph_opt with
+    | Some _ -> Blitzsplit.optimize_join ?counters ~threshold ?interrupt model catalog graph
+    | None -> Blitzsplit.optimize_product ?counters ~threshold ?interrupt model catalog)
+  | _ ->
+    let ctr = match counters with Some c -> c | None -> Counters.create () in
+    ctr.Counters.passes <- ctr.Counters.passes + 1;
+    let table =
+      match pool with
+      | Some pool -> parallel_run pool ~graph_opt ~ctr ~threshold ~interrupt model catalog graph
+      | None ->
+        Pool.with_pool ~num_domains (fun pool ->
+            parallel_run pool ~graph_opt ~ctr ~threshold ~interrupt model catalog graph)
+    in
+    { Blitzsplit.table; counters = ctr; catalog; graph; model; threshold }
+
+let optimize_join ?pool ?num_domains ?counters ?threshold ?interrupt model catalog graph =
+  let num_domains =
+    match num_domains with Some d -> d | None -> recommended_domains ()
+  in
+  run ?pool ~num_domains ~graph_opt:(Some graph) ?counters ?threshold ?interrupt model catalog
+
+let optimize_product ?pool ?num_domains ?counters ?threshold ?interrupt model catalog =
+  let num_domains =
+    match num_domains with Some d -> d | None -> recommended_domains ()
+  in
+  run ?pool ~num_domains ~graph_opt:None ?counters ?threshold ?interrupt model catalog
+
+(* Threshold escalation over the parallel passes: one pool outlives all
+   passes, so re-optimization pays the Domain.spawn cost once. *)
+
+let threshold_optimize_join ?counters ?growth ?max_passes ?interrupt ~num_domains ~threshold
+    model catalog graph =
+  Pool.with_pool ~num_domains (fun pool ->
+      Threshold.drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
+          run ~pool ~num_domains ~graph_opt:(Some graph) ~counters ~threshold ?interrupt model
+            catalog))
+
+let threshold_optimize_product ?counters ?growth ?max_passes ?interrupt ~num_domains ~threshold
+    model catalog =
+  Pool.with_pool ~num_domains (fun pool ->
+      Threshold.drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
+          run ~pool ~num_domains ~graph_opt:None ~counters ~threshold ?interrupt model catalog))

@@ -1,0 +1,126 @@
+(** Rank-parallel Algorithm blitzsplit on OCaml 5 domains.
+
+    The subset lattice decomposes by cardinality ("rank"): every subset
+    of rank [k] depends only on strictly smaller subsets — the fan
+    recurrence of Section 5.4 reads ranks 2 and [k-1], and the
+    [O(3^n)] split loop reads the cost/cardinality columns of proper
+    subsets, all of rank [< k].  Processing ranks in order with a full
+    barrier between them, and splitting each rank's Gosper-enumerated
+    subsets into contiguous chunks balanced dynamically over a domain
+    pool, is therefore an exact reimplementation of the sequential DP:
+
+    {b Determinism guarantee.}  Each table entry is a pure function of
+    lower-rank entries, and the per-subset split scan visits candidate
+    splits in the same fixed successor order as the sequential code
+    (ties broken by first-strict-improvement, identically).  The
+    resulting cost {e and} extracted plan are bit-identical to
+    {!Blitzsplit.run}'s for every [num_domains] — scheduling affects
+    only which domain writes an entry, never its value.  Counters are
+    per-domain and merged at the end; being sums of per-subset events,
+    the totals are also exactly the sequential counts.
+
+    Interruption: the deadline/cancellation probe is polled by every
+    domain each 64 subsets it processes (the sequential cadence) and
+    once by the coordinator at each rank barrier; a [true] return trips
+    a shared [Atomic.t] stop flag, remaining chunks bail at their next
+    check, and {!Blitzsplit.Interrupted} is raised after the barrier.
+    The probe closure must therefore tolerate calls from any domain
+    ([Budget.interrupt] in [blitz_guard] does). *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Blitzsplit = Blitz_core.Blitzsplit
+module Counters = Blitz_core.Counters
+module Threshold = Blitz_core.Threshold
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the default worker count. *)
+
+val run :
+  ?pool:Pool.t ->
+  num_domains:int ->
+  graph_opt:Join_graph.t option ->
+  ?counters:Counters.t ->
+  ?threshold:float ->
+  ?interrupt:(unit -> bool) ->
+  Cost_model.t ->
+  Catalog.t ->
+  Blitzsplit.t
+(** Same signature and result type as the sequential [Blitzsplit.run]:
+    optimize the join ([graph_opt = Some g]) or Cartesian product
+    ([None]) of all catalog relations, returning the filled table
+    wrapped in a {!Blitzsplit.t}.  With [?pool], the supplied pool is
+    used (and [num_domains] ignored); otherwise a fresh pool of
+    [num_domains] domains lives for the duration of the call.  With no
+    pool and [num_domains <= 1] this is exactly the sequential
+    optimizer.  Raises {!Blitzsplit.Interrupted} when the probe fires,
+    [Invalid_argument] on a non-positive threshold or a graph/catalog
+    size mismatch. *)
+
+val optimize_join :
+  ?pool:Pool.t ->
+  ?num_domains:int ->
+  ?counters:Counters.t ->
+  ?threshold:float ->
+  ?interrupt:(unit -> bool) ->
+  Cost_model.t ->
+  Catalog.t ->
+  Join_graph.t ->
+  Blitzsplit.t
+(** {!run} with a join graph; [num_domains] defaults to
+    {!recommended_domains}. *)
+
+val optimize_product :
+  ?pool:Pool.t ->
+  ?num_domains:int ->
+  ?counters:Counters.t ->
+  ?threshold:float ->
+  ?interrupt:(unit -> bool) ->
+  Cost_model.t ->
+  Catalog.t ->
+  Blitzsplit.t
+(** {!run} without predicates (Section 3); the table's fan column stays
+    unallocated. *)
+
+(** {1 Thresholded drivers}
+
+    {!Threshold.drive} over parallel passes: the multi-pass
+    re-optimization of Section 6.4 with one domain pool amortized
+    across every pass (and the rescue pass). *)
+
+val threshold_optimize_join :
+  ?counters:Counters.t ->
+  ?growth:float ->
+  ?max_passes:int ->
+  ?interrupt:(unit -> bool) ->
+  num_domains:int ->
+  threshold:float ->
+  Cost_model.t ->
+  Catalog.t ->
+  Join_graph.t ->
+  Threshold.outcome
+
+val threshold_optimize_product :
+  ?counters:Counters.t ->
+  ?growth:float ->
+  ?max_passes:int ->
+  ?interrupt:(unit -> bool) ->
+  num_domains:int ->
+  threshold:float ->
+  Cost_model.t ->
+  Catalog.t ->
+  Threshold.outcome
+
+(** {1 Internals exposed for tests} *)
+
+val gosper_next : int -> int
+(** Next larger integer with the same popcount (Gosper's hack). *)
+
+val unrank_subset : int array array -> k:int -> int -> int
+(** [unrank_subset binom ~k m] is the [m]-th (0-based) [k]-subset in
+    increasing bitset-integer (colex) order, via combinadic unranking
+    against a {!binomial_table}. *)
+
+val binomial_table : int -> int array array
+(** [binomial_table n].(c).(j) = C(c, j) for [0 <= c, j <= n]. *)

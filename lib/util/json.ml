@@ -1,0 +1,71 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/infinity literals; both serialize as null rather than
+   producing output no parser accepts. *)
+let float_repr x =
+  if Float.is_nan x || not (Float.is_finite x) then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.12g" x
+
+let rec emit buf ~indent ~level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let sep_open c = Buffer.add_char buf c; if indent then Buffer.add_char buf '\n' in
+  let sep_close c =
+    if indent then (Buffer.add_char buf '\n'; pad level);
+    Buffer.add_char buf c
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> Buffer.add_string buf (float_repr x)
+  | String s -> escape buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    sep_open '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then (Buffer.add_char buf ','; if indent then Buffer.add_char buf '\n');
+        pad (level + 1);
+        emit buf ~indent ~level:(level + 1) item)
+      items;
+    sep_close ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    sep_open '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then (Buffer.add_char buf ','; if indent then Buffer.add_char buf '\n');
+        pad (level + 1);
+        escape buf k;
+        Buffer.add_string buf (if indent then ": " else ":");
+        emit buf ~indent ~level:(level + 1) item)
+      fields;
+    sep_close '}'
+
+let to_string ?(indent = false) v =
+  let buf = Buffer.create 256 in
+  emit buf ~indent ~level:0 v;
+  Buffer.contents buf

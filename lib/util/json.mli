@@ -1,0 +1,20 @@
+(** Minimal JSON construction and serialization (no parsing, no deps).
+
+    Enough for machine-readable benchmark output ([BENCH_*.json] files)
+    without pulling a JSON dependency into the repository.  Strings are
+    escaped per RFC 8259; non-finite floats serialize as [null] (JSON
+    has no NaN/infinity); integral floats render with a trailing [.0]
+    so readers keep the number a float. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize; [~indent:true] pretty-prints with two-space indentation
+    (stable output, suitable for committed files and diffs). *)

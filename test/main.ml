@@ -14,6 +14,7 @@ let () =
       ("differential", Test_differential.suite);
       ("core-misc", Test_core_misc.suite);
       ("threshold", Test_threshold.suite);
+      ("parallel", Test_parallel.suite);
       ("baselines", Test_baselines.suite);
       ("dpccp", Test_dpccp.suite);
       ("ikkbz", Test_ikkbz.suite);

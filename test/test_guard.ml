@@ -31,8 +31,8 @@ let test_budget_basics () =
   Alcotest.check_raises "non-positive ceiling"
     (Invalid_argument "Budget.create: memory ceiling 0 B is not positive") (fun () ->
       ignore (Budget.create ~max_table_bytes:0 ()));
-  Alcotest.(check int) "table footprint n=10" (40 * 1024) (Budget.table_bytes ~n:10);
-  Alcotest.(check int) "footprint saturates" max_int (Budget.table_bytes ~n:60);
+  Alcotest.(check int) "table footprint n=10" (40 * 1024) (Budget.table_bytes ~n:10 ());
+  Alcotest.(check int) "footprint saturates" max_int (Budget.table_bytes ~n:60 ());
   let b = Budget.create ~max_table_bytes:(40 * 1024) () in
   Alcotest.(check bool) "n=10 fits exactly" true (Budget.admits_table b ~n:10);
   Alcotest.(check bool) "n=11 does not" false (Budget.admits_table b ~n:11);
@@ -106,7 +106,7 @@ let test_memory_cap_skips_to_hybrid () =
   let catalog, graph = topology_problem ~n:12 Topology.Chain in
   (* Ceiling below the 40 * 2^12 B table: both DP tiers must skip
      BEFORE allocating, with the footprint in the provenance. *)
-  let budget = Budget.create ~max_table_bytes:(Budget.table_bytes ~n:12 - 1) () in
+  let budget = Budget.create ~max_table_bytes:(Budget.table_bytes ~n:12 () - 1) () in
   match Guard.optimize ~budget Cost_model.kdnl catalog graph with
   | Error e -> Alcotest.failf "guard failed: %s" (Guard.error_message e)
   | Ok o ->
@@ -117,7 +117,7 @@ let test_memory_cap_skips_to_hybrid () =
         match (a.Degrade.tier, a.Degrade.status) with
         | (Degrade.Exact | Degrade.Thresholded), Degrade.Skipped (Degrade.Memory { needed_bytes; _ })
           ->
-          Alcotest.(check int) "needed bytes recorded" (Budget.table_bytes ~n:12) needed_bytes
+          Alcotest.(check int) "needed bytes recorded" (Budget.table_bytes ~n:12 ()) needed_bytes
         | (Degrade.Exact | Degrade.Thresholded), _ -> Alcotest.fail "DP tier was not memory-skipped"
         | _ -> ())
       o.Guard.provenance.Degrade.attempts;

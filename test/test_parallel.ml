@@ -1,0 +1,268 @@
+(* Rank-parallel blitzsplit: the parallel optimizer must be
+   bit-identical to the sequential one (cost, plan, counters), the
+   domain pool must balance/propagate/survive, and a deadline probe must
+   abort a parallel run within one chunk of expiring.
+
+   BLITZ_TEST_DOMAINS=N adds N to every domain-count axis, so CI can run
+   the whole file at a controlled width on multi-core hosts. *)
+
+open Test_helpers
+module Blitzsplit = Blitz_core.Blitzsplit
+module Threshold = Blitz_core.Threshold
+module Counters = Blitz_core.Counters
+module Dp_table = Blitz_core.Dp_table
+module Parallel = Blitz_parallel.Parallel_blitzsplit
+module Pool = Blitz_parallel.Pool
+module Budget = Blitz_guard.Budget
+
+let check_float = Test_helpers.check_float
+
+let env_domains =
+  match Sys.getenv_opt "BLITZ_TEST_DOMAINS" with
+  | None -> []
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 && d <= 128 -> [ d ]
+    | _ -> failwith (Printf.sprintf "BLITZ_TEST_DOMAINS=%S is not a domain count in [1, 128]" s))
+
+let domain_axis = List.sort_uniq compare ([ 1; 2; 4 ] @ env_domains)
+
+(* {1 Combinatorial helpers} *)
+
+let test_gosper_next () =
+  (* Gosper's hack enumerates same-popcount integers in increasing
+     order; collecting from the smallest rank-2 subset of 5 bits must
+     yield exactly the C(5,2) = 10 subsets, sorted. *)
+  let expected =
+    List.filter (fun s -> Blitz_bitset.Relset.cardinal s = 2) (List.init 32 Fun.id)
+  in
+  let rec collect s acc =
+    if s >= 32 then List.rev acc else collect (Parallel.gosper_next s) (s :: acc)
+  in
+  Alcotest.(check (list int)) "all 2-subsets of 5 in order" expected (collect 0b11 [])
+
+let test_binomial_table () =
+  let binom = Parallel.binomial_table 10 in
+  Alcotest.(check int) "C(10,3)" 120 binom.(10).(3);
+  Alcotest.(check int) "C(10,0)" 1 binom.(10).(0);
+  Alcotest.(check int) "C(10,10)" 1 binom.(10).(10);
+  Alcotest.(check int) "C(7,2)" 21 binom.(7).(2)
+
+let test_unrank_matches_gosper () =
+  (* unrank_subset m must be the m-th element of the Gosper sequence:
+     that equivalence is what lets chunks start mid-rank without
+     enumerating their predecessors. *)
+  let n = 10 in
+  let binom = Parallel.binomial_table n in
+  List.iter
+    (fun k ->
+      let count = binom.(n).(k) in
+      let s = ref ((1 lsl k) - 1) in
+      for m = 0 to count - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "unrank k=%d m=%d" k m)
+          !s
+          (Parallel.unrank_subset binom ~k m);
+        if m < count - 1 then s := Parallel.gosper_next !s
+      done)
+    [ 1; 3; 7; n ]
+
+(* {1 Pool} *)
+
+let test_pool_runs_every_chunk_once () =
+  List.iter
+    (fun num_domains ->
+      Pool.with_pool ~num_domains (fun pool ->
+          Alcotest.(check int) "num_domains" num_domains (Pool.num_domains pool);
+          (* Two consecutive jobs on one pool: reuse must work, and each
+             chunk must be executed exactly once (per-worker tallies
+             summed at the barrier). *)
+          List.iter
+            (fun chunks ->
+              let hits = Array.make chunks 0 in
+              let claimed = Array.make num_domains 0 in
+              Pool.run pool ~chunks (fun ~worker c ->
+                  hits.(c) <- hits.(c) + 1;
+                  claimed.(worker) <- claimed.(worker) + 1);
+              Array.iteri
+                (fun c h -> Alcotest.(check int) (Printf.sprintf "chunk %d once" c) 1 h)
+                hits;
+              Alcotest.(check int)
+                "claims sum to chunk count" chunks
+                (Array.fold_left ( + ) 0 claimed))
+            [ 37; 1; 0 ]))
+    domain_axis
+
+exception Boom
+
+let test_pool_propagates_exception_and_survives () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      Alcotest.check_raises "job exception re-raised" Boom (fun () ->
+          Pool.run pool ~chunks:16 (fun ~worker:_ c -> if c = 5 then raise Boom));
+      (* The pool must be quiescent and reusable after a poisoned job. *)
+      let total = Atomic.make 0 in
+      Pool.run pool ~chunks:16 (fun ~worker:_ c -> ignore (Atomic.fetch_and_add total c));
+      Alcotest.(check int) "reusable after exception" 120 (Atomic.get total))
+
+(* {1 Parallel = sequential, bit for bit} *)
+
+let check_identical ~msg seq par =
+  Alcotest.(check bool)
+    (msg ^ ": identical cost") true
+    (compare (Blitzsplit.best_cost seq) (Blitzsplit.best_cost par) = 0);
+  Alcotest.(check bool)
+    (msg ^ ": identical plan") true
+    (Plan.equal (Blitzsplit.best_plan_exn seq) (Blitzsplit.best_plan_exn par))
+
+let prop_parallel_matches_sequential =
+  QCheck2.Test.make ~count:60
+    ~name:"parallel = sequential: cost, plan and counters (n <= 12)"
+    ~print:problem_print (problem_gen ~max_n:12)
+    (fun { catalog; graph; model; _ } ->
+      let seq_ctr = Counters.create () in
+      let seq = Blitzsplit.optimize_join ~counters:seq_ctr model catalog graph in
+      List.iter
+        (fun d ->
+          let par_ctr = Counters.create () in
+          let par =
+            Parallel.optimize_join ~num_domains:d ~counters:par_ctr model catalog graph
+          in
+          let msg what = Printf.sprintf "domains=%d %s" d what in
+          if compare (Blitzsplit.best_cost seq) (Blitzsplit.best_cost par) <> 0 then
+            QCheck2.Test.fail_reportf "%s: cost %.17g vs sequential %.17g" (msg "cost")
+              (Blitzsplit.best_cost par) (Blitzsplit.best_cost seq);
+          if not (Plan.equal (Blitzsplit.best_plan_exn seq) (Blitzsplit.best_plan_exn par))
+          then QCheck2.Test.fail_reportf "%s differs" (msg "plan");
+          (* Counters are sums of per-subset events, so the merged
+             per-domain totals must equal the sequential counts exactly
+             (passes counts the optimization pass in both). *)
+          List.iter
+            (fun (name, f) ->
+              if f par_ctr <> f seq_ctr then
+                QCheck2.Test.fail_reportf "%s: %d vs sequential %d" (msg name) (f par_ctr)
+                  (f seq_ctr))
+            [
+              ("subsets", fun (c : Counters.t) -> c.Counters.subsets);
+              ("loop_iters", fun c -> c.Counters.loop_iters);
+              ("improvements", fun c -> c.Counters.improvements);
+              ("passes", fun c -> c.Counters.passes);
+            ])
+        domain_axis;
+      true)
+
+let test_parallel_product_identical () =
+  let catalog = random_catalog (Rng.create ~seed:7) ~n:11 ~lo:1.0 ~hi:1e4 in
+  let seq = Blitzsplit.optimize_product Cost_model.naive catalog in
+  List.iter
+    (fun d ->
+      let par = Parallel.optimize_product ~num_domains:d Cost_model.naive catalog in
+      check_identical ~msg:(Printf.sprintf "product domains=%d" d) seq par;
+      Alcotest.(check bool)
+        "product table has no fan column" false
+        (Dp_table.has_pi_fan par.Blitzsplit.table))
+    domain_axis
+
+let test_parallel_product_equals_empty_graph_join () =
+  let catalog = random_catalog (Rng.create ~seed:11) ~n:9 ~lo:1.0 ~hi:1e3 in
+  let product = Parallel.optimize_product ~num_domains:2 Cost_model.naive catalog in
+  let join =
+    Parallel.optimize_join ~num_domains:2 Cost_model.naive catalog
+      (Join_graph.of_edges ~n:9 [])
+  in
+  check_identical ~msg:"product vs empty-graph join" product join
+
+let test_parallel_threshold_multipass () =
+  (* The parallel threshold driver reuses one pool across passes and
+     must reproduce the sequential multi-pass outcome exactly
+     (Table 1's optimum 241000, reached on the same pass). *)
+  let seq =
+    Threshold.optimize_product ~growth:10.0 ~threshold:100.0 Cost_model.naive abcd_catalog
+  in
+  List.iter
+    (fun d ->
+      let par =
+        Parallel.threshold_optimize_product ~num_domains:d ~growth:10.0 ~threshold:100.0
+          Cost_model.naive abcd_catalog
+      in
+      Alcotest.(check int) "same pass count" seq.Threshold.passes par.Threshold.passes;
+      check_float "same final threshold" seq.Threshold.final_threshold
+        par.Threshold.final_threshold;
+      check_identical
+        ~msg:(Printf.sprintf "threshold domains=%d" d)
+        seq.Threshold.result par.Threshold.result)
+    domain_axis
+
+(* {1 Deadline: domain-safe latch and one-chunk abort} *)
+
+let test_budget_latch_is_sticky_until_rearmed () =
+  let budget = Budget.create ~deadline_ms:0.01 () in
+  let deadline = Unix.gettimeofday () +. 0.01 in
+  while Unix.gettimeofday () < deadline do () done;
+  Alcotest.(check bool) "expired trips the latch" true (Budget.expired budget);
+  Alcotest.(check bool) "stays tripped" true (Budget.expired budget);
+  Alcotest.(check bool) "probe closure agrees" true (Budget.interrupt budget ());
+  Budget.start budget;
+  Alcotest.(check bool) "start clears the latch" false (Budget.expired budget)
+
+let test_parallel_deadline_aborts_within_one_chunk () =
+  (* An already-expired budget must stop a parallel optimization at the
+     first probe: every domain polls each 64 subsets and the coordinator
+     polls at each rank barrier, so for n = 13 (8178 non-singleton
+     subsets) only a handful of subsets may be processed before
+     Interrupted surfaces. *)
+  let catalog = random_catalog (Rng.create ~seed:3) ~n:13 ~lo:1.0 ~hi:1e4 in
+  let budget = Budget.create ~deadline_ms:0.01 () in
+  let deadline = Unix.gettimeofday () +. 0.01 in
+  while Unix.gettimeofday () < deadline do () done;
+  Alcotest.(check bool) "budget already expired" true (Budget.expired budget);
+  List.iter
+    (fun d ->
+      let ctr = Counters.create () in
+      Alcotest.check_raises
+        (Printf.sprintf "domains=%d raises Interrupted" d)
+        Blitzsplit.Interrupted
+        (fun () ->
+          ignore
+            (Parallel.optimize_product ~num_domains:d ~counters:ctr
+               ~interrupt:(Budget.interrupt budget) Cost_model.naive catalog));
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d stopped within one chunk (%d subsets)" d
+           ctr.Counters.subsets)
+        true (ctr.Counters.subsets < 1000))
+    domain_axis
+
+(* {1 Lazy fan column} *)
+
+let test_table_bytes_reflects_fan_column () =
+  Alcotest.(check int) "40 bytes/slot with fan" (40 * 1024) (Budget.table_bytes ~n:10 ());
+  Alcotest.(check int)
+    "32 bytes/slot without fan" (32 * 1024)
+    (Budget.table_bytes ~with_pi_fan:false ~n:10 ());
+  let t = Dp_table.create ~with_pi_fan:false 4 in
+  Alcotest.(check bool) "fanless table" false (Dp_table.has_pi_fan t);
+  check_float "fanless pi_fan reads as 1.0" 1.0 (Dp_table.pi_fan t 0b0101);
+  Alcotest.(check bool) "default table has fan" true
+    (Dp_table.has_pi_fan (Dp_table.create 4))
+
+let suite =
+  [
+    Alcotest.test_case "gosper_next enumerates ranks in order" `Quick test_gosper_next;
+    Alcotest.test_case "binomial table" `Quick test_binomial_table;
+    Alcotest.test_case "unrank_subset matches gosper order" `Quick test_unrank_matches_gosper;
+    Alcotest.test_case "pool runs every chunk exactly once" `Quick test_pool_runs_every_chunk_once;
+    Alcotest.test_case "pool propagates exceptions and survives" `Quick
+      test_pool_propagates_exception_and_survives;
+    QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
+    Alcotest.test_case "parallel product identical, fanless table" `Quick
+      test_parallel_product_identical;
+    Alcotest.test_case "parallel product = empty-graph join" `Quick
+      test_parallel_product_equals_empty_graph_join;
+    Alcotest.test_case "parallel threshold multi-pass identical" `Quick
+      test_parallel_threshold_multipass;
+    Alcotest.test_case "budget latch sticky until rearmed" `Quick
+      test_budget_latch_is_sticky_until_rearmed;
+    Alcotest.test_case "deadline aborts parallel run within one chunk" `Quick
+      test_parallel_deadline_aborts_within_one_chunk;
+    Alcotest.test_case "table_bytes reflects lazy fan column" `Quick
+      test_table_bytes_reflects_fan_column;
+  ]
