@@ -8,8 +8,6 @@ open Toolkit
 module Workload = Blitz_workload.Workload
 module Topology = Blitz_graph.Topology
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
-module Threshold = Blitz_core.Threshold
 module Catalog = Blitz_catalog.Catalog
 module B = Blitz_baselines
 
@@ -22,25 +20,25 @@ let problem ~model ~topology ~mu ~v =
 let table1_test =
   let catalog = Catalog.of_list [ ("A", 10.0); ("B", 20.0); ("C", 30.0); ("D", 40.0) ] in
   Test.make ~name:"table1: 4-way product DP"
-    (Staged.stage (fun () -> ignore (Blitzsplit.optimize_product Cost_model.naive catalog)))
+    (Staged.stage (fun () -> ignore (Bench_opt.run Cost_model.naive catalog None)))
 
 let fig2_test =
   let catalog = Catalog.uniform ~n:bench_n ~card:100.0 in
   Test.make
     ~name:(Printf.sprintf "fig2: %d-way product DP" bench_n)
-    (Staged.stage (fun () -> ignore (Blitzsplit.optimize_product Cost_model.naive catalog)))
+    (Staged.stage (fun () -> ignore (Bench_opt.run Cost_model.naive catalog None)))
 
 let fig4_test =
   let catalog, graph = problem ~model:Cost_model.kdnl ~topology:Topology.Clique ~mu:100.0 ~v:0.5 in
   Test.make
     ~name:(Printf.sprintf "fig4: n=%d clique kdnl mu=100" bench_n)
-    (Staged.stage (fun () -> ignore (Blitzsplit.optimize_join Cost_model.kdnl catalog graph)))
+    (Staged.stage (fun () -> ignore (Bench_opt.run Cost_model.kdnl catalog (Some graph))))
 
 let fig5a_test =
   let catalog, graph = problem ~model:Cost_model.naive ~topology:Topology.Chain ~mu:100.0 ~v:0.0 in
   Test.make
     ~name:(Printf.sprintf "fig5a: n=%d chain k0 mu=100" bench_n)
-    (Staged.stage (fun () -> ignore (Blitzsplit.optimize_join Cost_model.naive catalog graph)))
+    (Staged.stage (fun () -> ignore (Bench_opt.run Cost_model.naive catalog (Some graph))))
 
 let fig5b_test =
   let catalog, graph =
@@ -48,20 +46,22 @@ let fig5b_test =
   in
   Test.make
     ~name:(Printf.sprintf "fig5b: n=%d cycle+3 kdnl mu=100" bench_n)
-    (Staged.stage (fun () -> ignore (Blitzsplit.optimize_join Cost_model.kdnl catalog graph)))
+    (Staged.stage (fun () -> ignore (Bench_opt.run Cost_model.kdnl catalog (Some graph))))
 
 let fig6_test =
   let catalog, graph = problem ~model:Cost_model.naive ~topology:Topology.Chain ~mu:1e4 ~v:0.0 in
   Test.make
     ~name:(Printf.sprintf "fig6: n=%d chain k0 mu=1e4, threshold 1e9" bench_n)
     (Staged.stage (fun () ->
-         ignore (Threshold.optimize_join ~threshold:1e9 Cost_model.naive catalog graph)))
+         ignore
+           (Bench_opt.run ~optimizer:"thresholded" ~threshold:1e9 Cost_model.naive catalog
+              (Some graph))))
 
 let counts_test =
   let catalog, graph = problem ~model:Cost_model.sort_merge ~topology:Topology.Clique ~mu:1.0 ~v:0.0 in
   Test.make
     ~name:(Printf.sprintf "counts: n=%d clique ksm mu=1 (worst case)" bench_n)
-    (Staged.stage (fun () -> ignore (Blitzsplit.optimize_join Cost_model.sort_merge catalog graph)))
+    (Staged.stage (fun () -> ignore (Bench_opt.run Cost_model.sort_merge catalog (Some graph))))
 
 let compare_test =
   let catalog, graph = problem ~model:Cost_model.kdnl ~topology:Topology.Star ~mu:100.0 ~v:0.5 in

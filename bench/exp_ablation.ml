@@ -18,7 +18,6 @@
 module Workload = Blitz_workload.Workload
 module Topology = Blitz_graph.Topology
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
 module Counters = Blitz_core.Counters
 module B = Blitz_baselines
 
@@ -46,7 +45,7 @@ let run () =
           in
           let catalog, graph = Workload.problem spec in
           let bushy = Counters.create () in
-          ignore (Blitzsplit.optimize_join ~counters:bushy Cost_model.kdnl catalog graph);
+          ignore (Bench_opt.run ~counters:bushy Cost_model.kdnl catalog (Some graph));
           let ld = Counters.create () in
           ignore (B.Leftdeep.optimize ~counters:ld Cost_model.kdnl catalog graph);
           rows :=
@@ -114,7 +113,7 @@ let run () =
       in
       let bushy, bushy_s =
         Blitz_util.Timer.time (fun () ->
-            Blitzsplit.best_cost (Blitzsplit.optimize_join Cost_model.naive catalog graph))
+            Bench_opt.cost Cost_model.naive catalog (Some graph))
       in
       rows :=
         [|

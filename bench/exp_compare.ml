@@ -10,66 +10,57 @@
    - stochastic methods approach but do not reliably reach the optimum
      in comparable time.
 
-   Costs are reported as ratios to the blitzsplit optimum (1.000 =
-   optimal). *)
+   The sweep enumerates the optimizer registry through one engine
+   session per grid point (so every DP-backed method shares the
+   arena-pooled table buffer), skipping only the exhaustive bruteforce
+   oracle and methods whose caps rule the problem out.  Costs are
+   reported as ratios to the blitzsplit optimum (1.000 = optimal). *)
 
 module Workload = Blitz_workload.Workload
 module Topology = Blitz_graph.Topology
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
+module Registry = Blitz_engine.Registry
+module Engine = Blitz_engine.Engine
 module B = Blitz_baselines
-module Hybrid = Blitz_hybrid.Hybrid
-module Rng = Blitz_util.Rng
-
-type method_result = { name : string; seconds : float; cost : float; note : string }
 
 let evaluate ~n model catalog graph =
-  let optimum = ref Float.infinity in
-  let timed name ?(note = "") f =
-    let cost = ref Float.infinity in
-    let seconds = Bench_config.time (fun () -> cost := f ()) in
-    { name; seconds; cost = !cost; note }
-  in
-  let blitz =
-    timed "blitzsplit (bushy+products)" (fun () ->
-        Blitzsplit.best_cost (Blitzsplit.optimize_join model catalog graph))
-  in
-  optimum := blitz.cost;
-  let dpsize_pairs = ref 0 in
-  let results =
-    [
-      blitz;
-      timed "dpsize (bushy+products)"
-        (fun () ->
-          let r = B.Dpsize.optimize ~cartesian:true model catalog graph in
-          dpsize_pairs := r.B.Dpsize.pairs_considered;
-          r.B.Dpsize.cost)
-        ~note:"Starburst-style enumerator";
-      timed "dpsize (no products)" (fun () ->
-          (B.Dpsize.optimize ~cartesian:false model catalog graph).B.Dpsize.cost);
-      timed "left-deep DP (products)" (fun () ->
-          (B.Leftdeep.optimize ~policy:B.Leftdeep.Allowed model catalog graph).B.Leftdeep.cost);
-      timed "left-deep DP (deferred)" (fun () ->
-          (B.Leftdeep.optimize ~policy:B.Leftdeep.Deferred model catalog graph).B.Leftdeep.cost);
-      timed "greedy (min card)" (fun () -> snd (B.Greedy.optimize model catalog graph));
-      timed "iterative improvement" (fun () ->
-          let rng = Rng.create ~seed:1234 in
-          snd (fst (B.Iterative_improvement.optimize ~rng ~restarts:5 model catalog graph)));
-      timed "simulated annealing" (fun () ->
-          let rng = Rng.create ~seed:1234 in
-          snd (fst (B.Simulated_annealing.optimize ~rng model catalog graph)));
-      timed "random probing" (fun () ->
-          let rng = Rng.create ~seed:1234 in
-          snd (B.Random_probe.optimize ~rng ~samples:(200 * n) model catalog graph));
-      timed "volcano (rule-based memo)" (fun () ->
-          fst (B.Volcano.optimize model catalog graph) |> snd)
-        ~note:"commute+associate to closure";
-      timed "hybrid (DP windows + kicks)" (fun () ->
-          let rng = Rng.create ~seed:1234 in
-          snd (fst (Hybrid.optimize ~rng ~window:(min 8 n) ~kicks:n model catalog graph)));
-    ]
-  in
-  (results, !optimum, !dpsize_pairs)
+  let is_tree = B.Ikkbz.is_tree graph in
+  let prob = Registry.problem ~graph catalog in
+  Engine.with_session ~model ~seed:1234 (fun session ->
+      let optimum = ref Float.nan in
+      let dpsize_pairs = ref 0 in
+      let rows =
+        Registry.all ()
+        |> List.filter_map (fun (e : Registry.entry) ->
+               if e.Registry.name = "bruteforce" then None
+               else
+                 match Registry.eligible e ~n ~is_tree with
+                 | Error reason -> Some [| e.Registry.name; "-"; "-"; reason |]
+                 | Ok () ->
+                   let outcome = ref None in
+                   let seconds =
+                     Bench_config.time (fun () ->
+                         outcome :=
+                           Some (Engine.optimize ~optimizer:e.Registry.name session prob))
+                   in
+                   let o = Option.get !outcome in
+                   if e.Registry.name = "exact" then optimum := o.Registry.cost;
+                   (match (e.Registry.name, o.Registry.note) with
+                   | "dpsize", Some note -> (
+                     try Scanf.sscanf note "%d pairs" (fun p -> dpsize_pairs := p)
+                     with Scanf.Scan_failure _ | Failure _ -> ())
+                   | _ -> ());
+                   Some
+                     [|
+                       e.Registry.name;
+                       Bench_config.seconds seconds;
+                       (if Float.is_finite o.Registry.cost then
+                          Printf.sprintf "%.4f" (o.Registry.cost /. !optimum)
+                        else "no plan");
+                       Option.value ~default:"" o.Registry.note;
+                     |])
+      in
+      (rows, !dpsize_pairs))
 
 let run () =
   Bench_config.header "Method comparison (Sections 1/2/7 qualitative claims)";
@@ -79,25 +70,11 @@ let run () =
       List.iter
         (fun topology ->
           let model = Cost_model.kdnl in
-          let spec =
-            Workload.spec ~n ~topology ~model ~mean_card:100.0 ~variability:0.5
-          in
+          let spec = Workload.spec ~n ~topology ~model ~mean_card:100.0 ~variability:0.5 in
           let catalog, graph = Workload.problem spec in
           Printf.printf "\n-- n = %d, topology %s, model %s, mu = 100, v = 0.5 --\n" n
             (Topology.name topology) model.Cost_model.name;
-          let results, optimum, pairs = evaluate ~n model catalog graph in
-          let rows =
-            List.map
-              (fun r ->
-                [|
-                  r.name;
-                  Bench_config.seconds r.seconds;
-                  (if Float.is_finite r.cost then Printf.sprintf "%.4f" (r.cost /. optimum)
-                   else "no plan");
-                  r.note;
-                |])
-              results
-          in
+          let rows, pairs = evaluate ~n model catalog graph in
           Blitz_util.Ascii_table.print
             ~header:[| "method"; "time (s)"; "cost / optimal"; "note" |]
             (Array.of_list rows);

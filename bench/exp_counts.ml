@@ -9,7 +9,6 @@
 module Workload = Blitz_workload.Workload
 module Topology = Blitz_graph.Topology
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
 module Counters = Blitz_core.Counters
 
 let run () =
@@ -33,7 +32,7 @@ let run () =
               in
               let catalog, graph = Workload.problem spec in
               let counters = Counters.create () in
-              ignore (Blitzsplit.optimize_join ~counters model catalog graph);
+              ignore (Bench_opt.run ~counters model catalog (Some graph));
               (* For kappa_0 (kappa'' = 0) the operand-sum count plays the
                  same diagnostic role. *)
               let evals =

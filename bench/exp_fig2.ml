@@ -10,7 +10,6 @@
 
 module Catalog = Blitz_catalog.Catalog
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
 module Linfit = Blitz_util.Linfit
 module Json = Blitz_util.Json
 
@@ -22,7 +21,7 @@ let run () =
     Array.map
       (fun n ->
         let catalog = Catalog.uniform ~n ~card:100.0 in
-        Bench_config.time (fun () -> ignore (Blitzsplit.optimize_product Cost_model.naive catalog)))
+        Bench_config.time (fun () -> ignore (Bench_opt.run Cost_model.naive catalog None)))
       ns
   in
   let t_loop, t_cond, t_subset = Linfit.fit_formula3 ~ns ~times in

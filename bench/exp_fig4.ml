@@ -17,12 +17,11 @@
 module Workload = Blitz_workload.Workload
 module Topology = Blitz_graph.Topology
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
 
 let time_cell spec =
   let catalog, graph = Workload.problem spec in
   Bench_config.time (fun () ->
-      ignore (Blitzsplit.optimize_join spec.Workload.model catalog graph))
+      ignore (Bench_opt.run spec.Workload.model catalog (Some graph)))
 
 let print_cell_table ~n model topology mean_cards variabilities =
   Printf.printf "\n-- model %s, topology %s (n = %d; seconds) --\n"

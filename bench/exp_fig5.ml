@@ -9,7 +9,6 @@
 module Workload = Blitz_workload.Workload
 module Topology = Blitz_graph.Topology
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
 
 let cells =
   [
@@ -39,7 +38,7 @@ let run () =
                    let catalog, graph = Workload.problem spec in
                    Bench_config.seconds
                      (Bench_config.time (fun () ->
-                          ignore (Blitzsplit.optimize_join model catalog graph))))
+                          ignore (Bench_opt.run model catalog (Some graph)))))
                  Bench_config.variabilities))
           Bench_config.mean_cards_fig5
       in

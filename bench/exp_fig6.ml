@@ -11,8 +11,7 @@
 module Workload = Blitz_workload.Workload
 module Topology = Blitz_graph.Topology
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
-module Threshold = Blitz_core.Threshold
+module Registry = Blitz_engine.Registry
 
 let run_cell ~n ~label model topology thresholds =
   Printf.printf "\n-- %s model %s, topology %s, variability 0 --\n" label
@@ -30,14 +29,16 @@ let run_cell ~n ~label model topology thresholds =
         let spec = Workload.spec ~n ~topology ~model ~mean_card:mu ~variability:0.0 in
         let catalog, graph = Workload.problem spec in
         let base =
-          Bench_config.time (fun () -> ignore (Blitzsplit.optimize_join model catalog graph))
+          Bench_config.time (fun () -> ignore (Bench_opt.run model catalog (Some graph)))
         in
         let with_threshold t =
           let passes = ref 0 in
           let seconds =
             Bench_config.time (fun () ->
-                let outcome = Threshold.optimize_join ~threshold:t model catalog graph in
-                passes := outcome.Threshold.passes)
+                let outcome =
+                  Bench_opt.run ~optimizer:"thresholded" ~threshold:t model catalog (Some graph)
+                in
+                passes := outcome.Registry.passes)
           in
           (seconds, !passes)
         in

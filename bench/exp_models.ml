@@ -14,7 +14,6 @@
 module Workload = Blitz_workload.Workload
 module Topology = Blitz_graph.Topology
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
 module Plan = Blitz_plan.Plan
 module Relset = Blitz_bitset.Relset
 module Datagen = Blitz_exec.Datagen
@@ -26,9 +25,7 @@ module Stats = Blitz_util.Stats
 
 let sample_plans ~rng ~count catalog graph =
   let n = Blitz_catalog.Catalog.n catalog in
-  let optimal =
-    Blitzsplit.best_plan_exn (Blitzsplit.optimize_join Cost_model.kdnl catalog graph)
-  in
+  let optimal = Bench_opt.plan_exn Cost_model.kdnl catalog (Some graph) in
   optimal :: List.init count (fun _ -> B.Transform.random_bushy rng (Relset.full n))
 
 let run () =

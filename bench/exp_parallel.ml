@@ -15,9 +15,9 @@
 
 module Catalog = Blitz_catalog.Catalog
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
 module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
 module Pool = Blitz_parallel.Pool
+module Registry = Blitz_engine.Registry
 module Json = Blitz_util.Json
 
 let domain_axis = [ 1; 2; 4; 8 ]
@@ -60,10 +60,9 @@ let run () =
     let model = Cost_model.naive in
     let seq_result = ref None in
     let seq_s =
-      time_wall ~min_total (fun () ->
-          seq_result := Some (Blitzsplit.optimize_product model catalog))
+      time_wall ~min_total (fun () -> seq_result := Some (Bench_opt.run model catalog None))
     in
-    let seq_cost = Blitzsplit.best_cost (Option.get !seq_result) in
+    let seq_cost = (Option.get !seq_result).Registry.cost in
     let per_domain =
       List.map
         (fun d ->
@@ -73,12 +72,9 @@ let run () =
                 let par_result = ref None in
                 let s =
                   time_wall ~min_total (fun () ->
-                      par_result :=
-                        Some
-                          (Parallel_blitzsplit.run ~pool ~num_domains:d ~graph_opt:None model
-                             catalog))
+                      par_result := Some (Bench_opt.run ~pool ~num_domains:d model catalog None))
                 in
-                let par_cost = Blitzsplit.best_cost (Option.get !par_result) in
+                let par_cost = (Option.get !par_result).Registry.cost in
                 if par_cost <> seq_cost then
                   failwith
                     (Printf.sprintf

@@ -5,17 +5,18 @@
 
 module Catalog = Blitz_catalog.Catalog
 module Cost_model = Blitz_cost.Cost_model
-module Blitzsplit = Blitz_core.Blitzsplit
 module Dp_table = Blitz_core.Dp_table
 module Plan = Blitz_plan.Plan
+module Registry = Blitz_engine.Registry
 
 let catalog = Catalog.of_list [ ("A", 10.0); ("B", 20.0); ("C", 30.0); ("D", 40.0) ]
 
 let run () =
   Bench_config.header "Table 1: dynamic programming table for A x B x C x D (kappa_0)";
-  let result = Blitzsplit.optimize_product Cost_model.naive catalog in
-  print_string (Dp_table.dump ~names:(Catalog.names catalog) result.Blitzsplit.table);
-  let plan = Plan.normalize (Blitzsplit.best_plan_exn result) in
+  let outcome = Bench_opt.run Cost_model.naive catalog None in
+  print_string
+    (Dp_table.dump ~names:(Catalog.names catalog) (Option.get outcome.Registry.table));
+  let plan = Plan.normalize (Option.get outcome.Registry.plan) in
   Printf.printf "\noptimal expression: %s   (paper: (A x D) x (B x C))\n"
     (Plan.to_compact_string ~names:(Catalog.names catalog) plan);
-  Printf.printf "optimal cost:       %g   (paper: 241000)\n" (Blitzsplit.best_cost result)
+  Printf.printf "optimal cost:       %g   (paper: 241000)\n" outcome.Registry.cost

@@ -19,19 +19,18 @@ module Join_graph = Blitz_graph.Join_graph
 module Topology = Blitz_graph.Topology
 module Cost_model = Blitz_cost.Cost_model
 module Plan = Blitz_plan.Plan
-module Blitzsplit = Blitz_core.Blitzsplit
-module Threshold = Blitz_core.Threshold
 module Counters = Blitz_core.Counters
 module Dp_table = Blitz_core.Dp_table
 module Workload = Blitz_workload.Workload
 module Binder = Blitz_sql.Binder
 module B = Blitz_baselines
-module Hybrid = Blitz_hybrid.Hybrid
 module Rng = Blitz_util.Rng
 module Guard = Blitz_guard.Guard
 module Budget = Blitz_guard.Budget
 module Degrade = Blitz_guard.Degrade
 module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
+module Registry = Blitz_engine.Registry
+module Engine = Blitz_engine.Engine
 
 (* ---- shared converters ---- *)
 
@@ -256,16 +255,22 @@ let optimize_cmd =
           p.Degrade.attempts
     end
     else if hybrid then begin
-      let rng = Rng.create ~seed in
       let t0 = Sys.time () in
-      let (plan, cost), stats = Hybrid.optimize ~rng model problem.catalog problem.graph in
+      let outcome =
+        Registry.optimize ~optimizer:"hybrid" (Registry.ctx ~seed model)
+          (Registry.problem ~graph:problem.graph problem.catalog)
+      in
+      let plan =
+        match outcome.Registry.plan with
+        | Some p -> p
+        | None -> failwith "hybrid: no plan"
+      in
       Printf.printf "query:      %s\n" problem.label;
       Printf.printf "model:      %s (hybrid search)\n" model.Cost_model.name;
       Printf.printf "plan:       %s\n" (Plan.to_compact_string ~names plan);
-      Printf.printf "cost:       %g (not guaranteed optimal)\n" cost;
-      Printf.printf "time:       %.4fs (%d windows re-optimized, %d improved, %d kicks)\n"
-        (Sys.time () -. t0)
-        stats.Hybrid.windows_reoptimized stats.Hybrid.windows_improved stats.Hybrid.kicks
+      Printf.printf "cost:       %g (not guaranteed optimal)\n" outcome.Registry.cost;
+      Printf.printf "time:       %.4fs (%s)\n" (Sys.time () -. t0)
+        (Option.value ~default:"" outcome.Registry.note)
     end
     else
     if physical then begin
@@ -295,37 +300,34 @@ let optimize_cmd =
       exit 1
     end;
     let t0 = Unix.gettimeofday () in
-    let result, passes =
-      match threshold with
-      | None ->
-        if num_domains > 1 then
-          (Parallel_blitzsplit.optimize_join ~num_domains model problem.catalog problem.graph, 1)
-        else (Blitzsplit.optimize_join model problem.catalog problem.graph, 1)
-      | Some t ->
-        let outcome =
-          if num_domains > 1 then
-            Parallel_blitzsplit.threshold_optimize_join ~num_domains ~growth ~threshold:t model
-              problem.catalog problem.graph
-          else
-            Threshold.optimize_join ~growth ~threshold:t model problem.catalog problem.graph
-        in
-        (outcome.Threshold.result, outcome.Threshold.passes)
+    let outcome =
+      let ctx = Registry.ctx ~num_domains ?threshold ~growth model in
+      Registry.optimize
+        ~optimizer:(if threshold = None then "exact" else "thresholded")
+        ctx
+        (Registry.problem ~graph:problem.graph problem.catalog)
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     Printf.printf "query:      %s\n" problem.label;
     Printf.printf "model:      %s\n" model.Cost_model.name;
     if num_domains > 1 then Printf.printf "domains:    %d (rank-parallel DP)\n" num_domains;
-    let plan = Blitzsplit.best_plan_exn result in
+    let plan =
+      match outcome.Registry.plan with
+      | Some p -> p
+      | None -> failwith "Blitzsplit.best_plan_exn: no plan under the given threshold"
+    in
     Printf.printf "plan:       %s\n" (Plan.to_compact_string ~names plan);
-    Printf.printf "cost:       %g\n" (Blitzsplit.best_cost result);
+    Printf.printf "cost:       %g\n" outcome.Registry.cost;
     Printf.printf "cardinality:%g\n" (Plan.cardinality problem.catalog problem.graph plan);
     Printf.printf "shape:      %s, %d cartesian product(s)\n"
       (if Plan.is_left_deep plan then "left-deep" else "bushy")
       (Plan.cartesian_join_count problem.graph plan);
-    Printf.printf "time:       %.4fs (%d pass(es))\n" elapsed passes;
+    Printf.printf "time:       %.4fs (%d pass(es))\n" elapsed outcome.Registry.passes;
     if dump_table then begin
       print_newline ();
-      print_string (Dp_table.dump ~names result.Blitzsplit.table)
+      match outcome.Registry.table with
+      | Some table -> print_string (Dp_table.dump ~names table)
+      | None -> ()
     end;
     if annotate then begin
       print_newline ();
@@ -370,61 +372,45 @@ let optimize_cmd =
 
 let compare_cmd =
   let run problem model =
-    let optimum =
-      Blitzsplit.best_cost (Blitzsplit.optimize_join model problem.catalog problem.graph)
-    in
-    let timed name f =
-      let t0 = Sys.time () in
-      let cost = f () in
-      let dt = Sys.time () -. t0 in
-      [|
-        name;
-        Printf.sprintf "%.4f" dt;
-        (if Float.is_finite cost then Printf.sprintf "%.4f" (cost /. optimum) else "no plan");
-      |]
-    in
-    let rows =
-      [
-        timed "blitzsplit (bushy+products)" (fun () ->
-            Blitzsplit.best_cost (Blitzsplit.optimize_join model problem.catalog problem.graph));
-        timed "dpsize (no products)" (fun () ->
-            (B.Dpsize.optimize ~cartesian:false model problem.catalog problem.graph).B.Dpsize.cost);
-        timed "left-deep DP (products)" (fun () ->
-            (B.Leftdeep.optimize model problem.catalog problem.graph).B.Leftdeep.cost);
-        timed "greedy (min card)" (fun () ->
-            snd (B.Greedy.optimize model problem.catalog problem.graph));
-        timed "iterative improvement" (fun () ->
-            let rng = Rng.create ~seed:1 in
-            snd (fst (B.Iterative_improvement.optimize ~rng model problem.catalog problem.graph)));
-        timed "simulated annealing" (fun () ->
-            let rng = Rng.create ~seed:1 in
-            snd (fst (B.Simulated_annealing.optimize ~rng model problem.catalog problem.graph)));
-        timed "volcano (rule-based memo)" (fun () ->
-            snd (fst (B.Volcano.optimize model problem.catalog problem.graph)));
-        timed "hybrid (DP windows)" (fun () ->
-            let rng = Rng.create ~seed:1 in
-            snd (fst (Hybrid.optimize ~rng model problem.catalog problem.graph)));
-      ]
-    in
-    let rows =
-      if B.Ikkbz.is_tree problem.graph then
-        rows
-        @ [
-            timed "IKKBZ plan (re-costed)" (fun () ->
-                (* IKKBZ optimizes C_out; report its plan's cost under the
-                   session model for an honest ratio. *)
-                let r = B.Ikkbz.optimize problem.catalog problem.graph in
-                Plan.cost model problem.catalog problem.graph r.B.Ikkbz.plan);
-          ]
-      else rows
-    in
-    Printf.printf "query: %s   model: %s\n\n" problem.label model.Cost_model.name;
-    Blitz_util.Ascii_table.print
-      ~header:[| "method"; "time (s)"; "cost / optimal" |]
-      (Array.of_list rows)
+    let n = Catalog.n problem.catalog in
+    let is_tree = B.Ikkbz.is_tree problem.graph in
+    let prob = Registry.problem ~graph:problem.graph problem.catalog in
+    (* One session for the whole sweep: every DP-backed method reuses
+       the same arena-pooled table buffer. *)
+    Engine.with_session ~model (fun session ->
+        let optimum = ref Float.nan in
+        let rows =
+          Registry.all ()
+          |> List.filter_map (fun (e : Registry.entry) ->
+                 if e.Registry.name = "bruteforce" then
+                   (* The oracle enumerates every bushy plan — worth
+                      running in tests, not in an interactive sweep. *)
+                   Some [| e.Registry.name; "-"; "-"; "skipped (exhaustive oracle)" |]
+                 else
+                   match Registry.eligible e ~n ~is_tree with
+                   | Error reason -> Some [| e.Registry.name; "-"; "-"; reason |]
+                   | Ok () ->
+                     let t0 = Sys.time () in
+                     let o = Engine.optimize ~optimizer:e.Registry.name session prob in
+                     let dt = Sys.time () -. t0 in
+                     if e.Registry.name = "exact" then optimum := o.Registry.cost;
+                     Some
+                       [|
+                         e.Registry.name;
+                         Printf.sprintf "%.4f" dt;
+                         (if Float.is_finite o.Registry.cost then
+                            Printf.sprintf "%.4f" (o.Registry.cost /. !optimum)
+                          else "no plan");
+                         Option.value ~default:e.Registry.summary o.Registry.note;
+                       |])
+        in
+        Printf.printf "query: %s   model: %s\n\n" problem.label model.Cost_model.name;
+        Blitz_util.Ascii_table.print
+          ~header:[| "method"; "time (s)"; "cost / optimal"; "note" |]
+          (Array.of_list rows))
   in
   Cmd.v
-    (Cmd.info "compare" ~doc:"Run every optimizer in the repository on one query")
+    (Cmd.info "compare" ~doc:"Run every registered optimizer on one query")
     Term.(const run $ problem_term $ model_arg)
 
 (* ---- workload ---- *)
@@ -468,7 +454,11 @@ let workload_cmd =
 let counters_cmd =
   let run problem model =
     let counters = Counters.create () in
-    let _ = Blitzsplit.optimize_join ~counters model problem.catalog problem.graph in
+    let _ =
+      Registry.optimize
+        (Registry.ctx ~counters model)
+        (Registry.problem ~graph:problem.graph problem.catalog)
+    in
     let n = Catalog.n problem.catalog in
     Printf.printf "query: %s   model: %s\n\n" problem.label model.Cost_model.name;
     Format.printf "%a@." Counters.pp counters;

@@ -1,0 +1,52 @@
+type t = {
+  mutable table : Dp_table.t option;
+  counters : Counters.t;
+  mutable acquires : int;
+  mutable grows : int;
+}
+
+let create () = { table = None; counters = Counters.create (); acquires = 0; grows = 0 }
+
+let counters t = t.counters
+
+let acquire t ?(with_pi_fan = true) n =
+  t.acquires <- t.acquires + 1;
+  let table =
+    match t.table with
+    | Some tbl when Dp_table.capacity tbl >= n ->
+      let tbl = if with_pi_fan then Dp_table.add_pi_fan tbl else tbl in
+      Dp_table.reset_in_place tbl ~n
+    | prev ->
+      (* Grow to the new high-water mark.  The fan column is sticky: once
+         any query in the session needed it, keep it so a later join query
+         never has to reallocate behind a product query's back. *)
+      let keep_fan =
+        with_pi_fan
+        || (match prev with Some p -> Dp_table.has_pi_fan p | None -> false)
+      in
+      t.grows <- t.grows + 1;
+      Dp_table.create ~with_pi_fan:keep_fan n
+  in
+  t.table <- Some table;
+  table
+
+let resident_bytes t =
+  match t.table with
+  | None -> 0
+  | Some tbl ->
+    Dp_table.estimate_bytes
+      ~with_pi_fan:(Dp_table.has_pi_fan tbl)
+      ~n:(Dp_table.capacity tbl) ()
+
+let bytes_after t ?(with_pi_fan = true) ~n () =
+  match t.table with
+  | None -> Dp_table.estimate_bytes ~with_pi_fan ~n ()
+  | Some tbl ->
+    let fan = with_pi_fan || Dp_table.has_pi_fan tbl in
+    let cap = max n (Dp_table.capacity tbl) in
+    Dp_table.estimate_bytes ~with_pi_fan:fan ~n:cap ()
+
+let clear t = t.table <- None
+
+let acquires t = t.acquires
+let grows t = t.grows

@@ -1,0 +1,54 @@
+(** Session workspace: pooled DP-table buffers and counters.
+
+    The blitzsplit table costs [O(2^n)] to allocate and initialize, which
+    is the whole optimization for small queries — the paper's point is
+    that the constants are tiny.  An arena owns one table buffer sized to
+    the session's high-water-mark [n] and hands out reset views of it
+    ({!Dp_table.reset_in_place}) instead of reallocating per query (and,
+    for [Threshold]'s driver, per pass).  Correctness does not depend on
+    the reset: every DP pass writes each slot before reading it.  The
+    reset keeps what external table readers observe identical to a fresh
+    allocation, which the test suite checks bit-for-bit.
+
+    An arena is single-threaded state: one optimizer call may use it at a
+    time (the rank-parallel optimizer coordinates its domains itself; the
+    coordinator still acquires from the arena sequentially). *)
+
+type t
+
+val create : unit -> t
+(** A fresh arena holding no buffers.  The first {!acquire} allocates. *)
+
+val acquire : t -> ?with_pi_fan:bool -> int -> Dp_table.t
+(** [acquire t n] returns a table for [n] relations backed by the arena's
+    pooled buffers: reset in place when the capacity suffices, freshly
+    allocated (growing the high-water mark) otherwise.  The fan column is
+    sticky — once a join query needs it the buffer keeps it; a reused
+    table may therefore report [has_pi_fan] even for [~with_pi_fan:false]
+    callers, which never read it.  Raises [Invalid_argument] when [n]
+    is outside [\[1, Dp_table.max_relations\]]. *)
+
+val counters : t -> Counters.t
+(** The arena's reusable counter block.  Callers that want per-query
+    counts reset it between queries ([Engine.optimize] does). *)
+
+val resident_bytes : t -> int
+(** Bytes currently held by the pooled table buffer (0 before the first
+    acquire).  This is the high-water footprint a memory ceiling should
+    charge for, not the per-call size. *)
+
+val bytes_after : t -> ?with_pi_fan:bool -> n:int -> unit -> int
+(** Resident footprint the arena would have after serving a query of [n]
+    relations: the current buffer if it already suffices, the grown one
+    otherwise.  What [Budget] checks against its ceiling when a session
+    is in play. *)
+
+val clear : t -> unit
+(** Drop the pooled buffer (the next acquire reallocates). *)
+
+val acquires : t -> int
+(** Total {!acquire} calls served (diagnostic). *)
+
+val grows : t -> int
+(** How many of those had to allocate (diagnostic; 1 for a steady-state
+    session). *)

@@ -22,7 +22,7 @@ exception Interrupted
    stays invisible next to the [O(3^n)] loop. *)
 let probe_mask = 63
 
-let run ~graph_opt ?counters ?(threshold = Float.infinity) ?interrupt model catalog =
+let run ~graph_opt ?arena ?counters ?(threshold = Float.infinity) ?interrupt model catalog =
   if threshold <= 0.0 then invalid_arg "Blitzsplit: threshold must be positive";
   let n = Catalog.n catalog in
   let graph =
@@ -36,7 +36,12 @@ let run ~graph_opt ?counters ?(threshold = Float.infinity) ?interrupt model cata
   in
   let ctr = match counters with Some c -> c | None -> Counters.create () in
   ctr.passes <- ctr.passes + 1;
-  let tbl = Dp_table.create ~with_pi_fan:(Option.is_some graph_opt) n in
+  let with_pi_fan = Option.is_some graph_opt in
+  let tbl =
+    match arena with
+    | Some a -> Arena.acquire a ~with_pi_fan n
+    | None -> Dp_table.create ~with_pi_fan n
+  in
   Split_loop.init_singletons tbl model catalog;
   let last = (1 lsl n) - 1 in
   let probe =
@@ -63,11 +68,11 @@ let run ~graph_opt ?counters ?(threshold = Float.infinity) ?interrupt model cata
     done);
   { table = tbl; counters = ctr; catalog; graph; model; threshold }
 
-let optimize_join ?counters ?threshold ?interrupt model catalog graph =
-  run ~graph_opt:(Some graph) ?counters ?threshold ?interrupt model catalog
+let optimize_join ?arena ?counters ?threshold ?interrupt model catalog graph =
+  run ~graph_opt:(Some graph) ?arena ?counters ?threshold ?interrupt model catalog
 
-let optimize_product ?counters ?threshold ?interrupt model catalog =
-  run ~graph_opt:None ?counters ?threshold ?interrupt model catalog
+let optimize_product ?arena ?counters ?threshold ?interrupt model catalog =
+  run ~graph_opt:None ?arena ?counters ?threshold ?interrupt model catalog
 
 let full_set t = Dp_table.full_set t.table
 

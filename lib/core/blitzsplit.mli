@@ -41,6 +41,7 @@ exception Interrupted
     cheaper algorithm (see the [blitz_guard] degradation cascade). *)
 
 val optimize_join :
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?threshold:float ->
   ?interrupt:(unit -> bool) ->
@@ -49,15 +50,19 @@ val optimize_join :
   Join_graph.t ->
   t
 (** Optimize the join of all catalog relations under the graph's
-    predicates.  [counters] accumulates across calls when supplied
-    (fresh otherwise); [threshold] defaults to [infinity].  [interrupt]
-    makes the [O(3^n)] DP cancellable: it is polled every 64 processed
-    subsets (cheap — [2^n / 64] calls against [3^n] loop work) and a
-    [true] return raises {!Interrupted}.  Raises [Invalid_argument] when
-    the graph's size differs from the catalog's, or when the catalog
-    exceeds {!Dp_table.max_relations} relations. *)
+    predicates.  [arena] makes the DP table come out of a session
+    workspace instead of a fresh allocation (bit-identical results —
+    see {!Arena}); the returned [table] is a view of the arena's buffer,
+    valid until the arena's next acquire.  [counters] accumulates across
+    calls when supplied (fresh otherwise); [threshold] defaults to
+    [infinity].  [interrupt] makes the [O(3^n)] DP cancellable: it is
+    polled every 64 processed subsets (cheap — [2^n / 64] calls against
+    [3^n] loop work) and a [true] return raises {!Interrupted}.  Raises
+    [Invalid_argument] when the graph's size differs from the catalog's,
+    or when the catalog exceeds {!Dp_table.max_relations} relations. *)
 
 val optimize_product :
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?threshold:float ->
   ?interrupt:(unit -> bool) ->

@@ -15,7 +15,7 @@ type t = {
   threshold : float;
 }
 
-let optimize ?counters ?(threshold = Float.infinity) model catalog equivalence =
+let optimize ?arena ?counters ?(threshold = Float.infinity) model catalog equivalence =
   if threshold <= 0.0 then invalid_arg "Blitzsplit_eq: threshold must be positive";
   let n = Catalog.n catalog in
   if Equivalence.n equivalence <> n then
@@ -35,7 +35,9 @@ let optimize ?counters ?(threshold = Float.infinity) model catalog equivalence =
     classes;
   let ctr = match counters with Some c -> c | None -> Counters.create () in
   ctr.Counters.passes <- ctr.Counters.passes + 1;
-  let tbl = Dp_table.create n in
+  let tbl =
+    match arena with Some a -> Arena.acquire a n | None -> Dp_table.create n
+  in
   Split_loop.init_singletons tbl model catalog;
   let slots = 1 lsl n in
   (* Class-presence mask per subset; singletons from rel_mask. *)

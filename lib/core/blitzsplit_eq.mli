@@ -41,6 +41,7 @@ type t = {
 }
 
 val optimize :
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?threshold:float ->
   Cost_model.t ->

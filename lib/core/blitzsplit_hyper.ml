@@ -15,7 +15,7 @@ type t = {
   threshold : float;
 }
 
-let optimize ?counters ?(threshold = Float.infinity) model catalog hypergraph =
+let optimize ?arena ?counters ?(threshold = Float.infinity) model catalog hypergraph =
   if threshold <= 0.0 then invalid_arg "Blitzsplit_hyper: threshold must be positive";
   let n = Catalog.n catalog in
   if Hypergraph.n hypergraph <> n then
@@ -32,7 +32,9 @@ let optimize ?counters ?(threshold = Float.infinity) model catalog hypergraph =
   let sel = Array.map (fun e -> e.Hypergraph.selectivity) edges in
   let ctr = match counters with Some c -> c | None -> Counters.create () in
   ctr.Counters.passes <- ctr.Counters.passes + 1;
-  let tbl = Dp_table.create n in
+  let tbl =
+    match arena with Some a -> Arena.acquire a n | None -> Dp_table.create n
+  in
   Split_loop.init_singletons tbl model catalog;
   let slots = 1 lsl n in
   (* Bitmask of completed hyperedges per subset.  Singletons cannot

@@ -32,6 +32,7 @@ type t = {
 }
 
 val optimize :
+  ?arena:Arena.t ->
   ?counters:Counters.t -> ?threshold:float -> Cost_model.t -> Catalog.t -> Hypergraph.t -> t
 (** Raises [Invalid_argument] on size mismatch or more than
     {!max_hyperedges} hyperedges. *)

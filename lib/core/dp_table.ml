@@ -29,6 +29,35 @@ let create ?(with_pi_fan = true) n =
 
 let has_pi_fan t = Array.length t.pi_fan > 0
 
+let capacity t =
+  (* Slot arrays are always 2^cap long; recover cap rather than widening
+     the (publicly pattern-matched) record with another field. *)
+  let len = Array.length t.card in
+  let rec log2 k acc = if k <= 1 then acc else log2 (k lsr 1) (acc + 1) in
+  log2 len 0
+
+let estimate_bytes ?(with_pi_fan = true) ~n () =
+  (* 4 (or 5, with the fan column) unboxed 8-byte columns of 2^n slots.
+     Saturate instead of overflowing for absurd n. *)
+  let per_slot = if with_pi_fan then 40 else 32 in
+  if n >= 50 then max_int else per_slot * (1 lsl n)
+
+let reset_in_place t ~n =
+  if n < 1 || n > capacity t then
+    invalid_arg
+      (Printf.sprintf "Dp_table.reset_in_place: n = %d outside [1, %d]" n (capacity t));
+  let slots = 1 lsl n in
+  Array.fill t.card 0 slots 0.0;
+  Array.fill t.cost 0 slots Float.infinity;
+  Array.fill t.best_lhs 0 slots 0;
+  if has_pi_fan t then Array.fill t.pi_fan 0 slots 1.0;
+  Array.fill t.aux 0 slots 0.0;
+  { t with n }
+
+let add_pi_fan t =
+  if has_pi_fan t then t
+  else { t with pi_fan = Array.make (Array.length t.card) 1.0 }
+
 let size t = 1 lsl t.n
 
 let full_set t = Relset.full t.n

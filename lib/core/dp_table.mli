@@ -45,6 +45,29 @@ val create : ?with_pi_fan:bool -> int -> t
 val has_pi_fan : t -> bool
 (** Whether the fan column was allocated. *)
 
+val capacity : t -> int
+(** The n the backing buffers were allocated for.  [capacity t >= t.n];
+    they differ when the table came out of an {!Arena} sized by a larger
+    earlier query. *)
+
+val estimate_bytes : ?with_pi_fan:bool -> n:int -> unit -> int
+(** Bytes a table for [n] relations occupies: [40 * 2^n] (or [32 * 2^n]
+    without the fan column — see {!create}).  Saturates at [max_int]. *)
+
+val reset_in_place : t -> n:int -> t
+(** [reset_in_place t ~n] re-initializes slots [0, 2^n) of [t]'s backing
+    buffers to the same state [create] produces (cost [infinity], lhs 0,
+    card 0, fan 1) and returns a view of the buffers sized for [n]
+    relations — no allocation beyond the small record.  Requires
+    [1 <= n <= capacity t].  The basis of {!Arena} reuse: a blitzsplit
+    pass writes every slot before reading it, so the reset only matters
+    for what external readers of the table may observe. *)
+
+val add_pi_fan : t -> t
+(** Return a view of [t] with the fan column allocated (capacity-sized,
+    all 1.0), allocating it lazily if the table was created without one.
+    The identity when the column is already present. *)
+
 val size : t -> int
 (** Number of slots, [2^n]. *)
 

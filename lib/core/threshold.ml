@@ -36,21 +36,32 @@ let drive ?counters ?growth ?max_passes ~threshold run =
   in
   { result; passes; final_threshold }
 
-let optimize_join ?counters ?growth ?max_passes ?interrupt ~threshold model catalog graph =
-  drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
-      Blitzsplit.optimize_join ~counters ~threshold ?interrupt model catalog graph)
+(* Re-optimization passes reuse one table through an arena: without one a
+   failed pass would throw away (and a retry reallocate) 5*8*2^n bytes.
+   Callers that hold a session arena pass it in; otherwise the driver
+   makes a private one so the multi-pass sequence still shares a table. *)
+let private_arena = function Some a -> a | None -> Arena.create ()
 
-let optimize_product ?counters ?growth ?max_passes ?interrupt ~threshold model catalog =
+let optimize_join ?arena ?counters ?growth ?max_passes ?interrupt ~threshold model catalog graph
+    =
+  let arena = private_arena arena in
   drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
-      Blitzsplit.optimize_product ~counters ~threshold ?interrupt model catalog)
+      Blitzsplit.optimize_join ~arena ~counters ~threshold ?interrupt model catalog graph)
+
+let optimize_product ?arena ?counters ?growth ?max_passes ?interrupt ~threshold model catalog =
+  let arena = private_arena arena in
+  drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
+      Blitzsplit.optimize_product ~arena ~counters ~threshold ?interrupt model catalog)
 
 type eq_outcome = { eq_result : Blitzsplit_eq.t; eq_passes : int; eq_final_threshold : float }
 
-let optimize_eq ?counters ?growth ?max_passes ~threshold model catalog equivalence =
+let optimize_eq ?arena ?counters ?growth ?max_passes ~threshold model catalog equivalence =
+  let arena = private_arena arena in
   let counters = match counters with Some c -> c | None -> Counters.create () in
   let eq_result, eq_passes, eq_final_threshold =
     drive_generic ?growth ?max_passes ~threshold ~feasible:Blitzsplit_eq.feasible
-      (fun ~threshold -> Blitzsplit_eq.optimize ~counters ~threshold model catalog equivalence)
+      (fun ~threshold ->
+        Blitzsplit_eq.optimize ~arena ~counters ~threshold model catalog equivalence)
   in
   { eq_result; eq_passes; eq_final_threshold }
 
@@ -60,10 +71,12 @@ type hyper_outcome = {
   hyper_final_threshold : float;
 }
 
-let optimize_hyper ?counters ?growth ?max_passes ~threshold model catalog hypergraph =
+let optimize_hyper ?arena ?counters ?growth ?max_passes ~threshold model catalog hypergraph =
+  let arena = private_arena arena in
   let counters = match counters with Some c -> c | None -> Counters.create () in
   let hyper_result, hyper_passes, hyper_final_threshold =
     drive_generic ?growth ?max_passes ~threshold ~feasible:Blitzsplit_hyper.feasible
-      (fun ~threshold -> Blitzsplit_hyper.optimize ~counters ~threshold model catalog hypergraph)
+      (fun ~threshold ->
+        Blitzsplit_hyper.optimize ~arena ~counters ~threshold model catalog hypergraph)
   in
   { hyper_result; hyper_passes; hyper_final_threshold }

@@ -32,6 +32,7 @@ type outcome = {
 }
 
 val optimize_join :
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?growth:float ->
   ?max_passes:int ->
@@ -52,6 +53,7 @@ val optimize_join :
     thresholds or [growth <= 1]. *)
 
 val optimize_product :
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?growth:float ->
   ?max_passes:int ->
@@ -84,6 +86,7 @@ val drive :
 type eq_outcome = { eq_result : Blitzsplit_eq.t; eq_passes : int; eq_final_threshold : float }
 
 val optimize_eq :
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?growth:float ->
   ?max_passes:int ->
@@ -100,6 +103,7 @@ type hyper_outcome = {
 }
 
 val optimize_hyper :
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?growth:float ->
   ?max_passes:int ->

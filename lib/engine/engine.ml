@@ -1,0 +1,83 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Arena = Blitz_core.Arena
+module Counters = Blitz_core.Counters
+module Blitzsplit = Blitz_core.Blitzsplit
+module Pool = Blitz_parallel.Pool
+
+type t = {
+  model : Cost_model.t;
+  num_domains : int;
+  seed : int;
+  arena : Arena.t;
+  mutable pool : Pool.t option;
+  mutable closed : bool;
+}
+
+let create ?(model = Blitz_cost.Cost_model.kdnl) ?(num_domains = 1) ?(seed = 1) () =
+  if num_domains < 1 || num_domains > 128 then
+    invalid_arg (Printf.sprintf "Engine.create: num_domains %d outside [1, 128]" num_domains);
+  { model; num_domains; seed; arena = Arena.create (); pool = None; closed = false }
+
+let model t = t.model
+let num_domains t = t.num_domains
+let arena t = t.arena
+
+(* The pool is spawned on first use, not at [create]: single-domain
+   sessions (and multi-domain sessions that only ever run table-free
+   optimizers) never pay the Domain.spawn cost. *)
+let pool t =
+  if t.num_domains <= 1 then None
+  else
+    match t.pool with
+    | Some _ as p -> p
+    | None ->
+      let p = Pool.create ~num_domains:t.num_domains in
+      t.pool <- Some p;
+      Some p
+
+let close t =
+  (match t.pool with Some p -> Pool.shutdown p | None -> ());
+  t.pool <- None;
+  Arena.clear t.arena;
+  t.closed <- true
+
+let with_session ?model ?num_domains ?seed f =
+  let t = create ?model ?num_domains ?seed () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let ctx ?interrupt ?threshold ?growth ?max_passes ?counters t =
+  Registry.ctx ~arena:t.arena ?pool:(pool t) ~num_domains:t.num_domains ~seed:t.seed ?interrupt
+    ?threshold ?growth ?max_passes ?counters t.model
+
+let counters t = Arena.counters t.arena
+
+let optimize ?(optimizer = "exact") ?interrupt ?threshold t problem =
+  if t.closed then invalid_arg "Engine.optimize: session is closed";
+  let ctr = Arena.counters t.arena in
+  Counters.reset ctr;
+  Registry.optimize ~optimizer (ctx ?interrupt ?threshold ~counters:ctr t) problem
+
+let optimize_many ?(optimizer = "exact") ?interrupt t problems =
+  if t.closed then invalid_arg "Engine.optimize_many: session is closed";
+  (* One registry lookup and one ctx for the whole batch — per-query
+     work is just a counter reset and the optimizer itself. *)
+  let entry = Registry.find_exn optimizer in
+  let ctr = Arena.counters t.arena in
+  let c = ctx ?interrupt ~counters:ctr t in
+  let completed = ref [] in
+  (try
+     Seq.iter
+       (fun p ->
+         Counters.reset ctr;
+         let o = entry.Registry.optimize c p in
+         (* The table is a view of the arena's buffer, overwritten by the
+            next query; the counters record is reused and reset.  Detach
+            both so every element of the batch result stands on its own. *)
+         completed :=
+           { o with Registry.table = None; counters = Option.map Counters.copy o.Registry.counters }
+           :: !completed)
+       problems
+   with Blitzsplit.Interrupted -> ());
+  List.rev !completed

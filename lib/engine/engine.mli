@@ -1,0 +1,89 @@
+(** A session-scoped optimizer front end.
+
+    The paper's pitch is that blitzsplit's constants are tiny — but a
+    fresh [O(2^n)] table allocation per query (plus counters, plus
+    domain spawns) taxes exactly the small, fast queries the constants
+    win on.  A session owns an {!Blitz_core.Arena} (high-water-mark
+    DP-table buffer + reusable counters) and, for multi-domain
+    sessions, one lazily spawned {!Blitz_parallel.Pool}, and runs any
+    registered optimizer through them.  Results are bit-identical to
+    fresh-allocation runs for every optimizer and domain count (tested
+    property).
+
+    Sessions are single-threaded: one optimize call at a time. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Arena = Blitz_core.Arena
+module Counters = Blitz_core.Counters
+module Pool = Blitz_parallel.Pool
+
+type t
+
+val create : ?model:Cost_model.t -> ?num_domains:int -> ?seed:int -> unit -> t
+(** [model] defaults to [kdnl], [num_domains] to 1 (sequential), [seed]
+    to 1.  Nothing is allocated up front: the first query sizes the
+    arena, and the domain pool spawns on the first parallel run.
+    Raises [Invalid_argument] when [num_domains] is outside [1, 128]. *)
+
+val close : t -> unit
+(** Shut the pool down (if spawned) and drop the arena's buffers.
+    Subsequent {!optimize} calls raise [Invalid_argument]. *)
+
+val with_session : ?model:Cost_model.t -> ?num_domains:int -> ?seed:int -> (t -> 'a) -> 'a
+(** Bracketed {!create}/{!close}. *)
+
+val optimize :
+  ?optimizer:string ->
+  ?interrupt:(unit -> bool) ->
+  ?threshold:float ->
+  t ->
+  Registry.problem ->
+  Registry.outcome
+(** Run one query through the session.  [optimizer] names a registry
+    entry (default ["exact"]); [threshold] seeds the thresholded
+    driver.  The session's counters are reset first, so the outcome's
+    counters are per-query; the outcome's [table] aliases the arena
+    buffer and is only valid until the next call.  May raise
+    [Blitzsplit.Interrupted] (via [interrupt]) and whatever the entry
+    itself raises on caps violations. *)
+
+val optimize_many :
+  ?optimizer:string ->
+  ?interrupt:(unit -> bool) ->
+  t ->
+  Registry.problem Seq.t ->
+  Registry.outcome list
+(** Stream a batch of problems through the session under one interrupt
+    — the serving shape for repeated-query traffic: one table buffer,
+    one counter block, one pool for the whole batch.  Outcomes are
+    detached (no live table views; counters copied) and returned in
+    input order.  When [interrupt] fires mid-batch the completed prefix
+    is returned rather than an exception — callers that need to know
+    can compare lengths. *)
+
+(** {1 Session internals (for drivers building their own ctx)} *)
+
+val model : t -> Cost_model.t
+val num_domains : t -> int
+val arena : t -> Arena.t
+
+val pool : t -> Pool.t option
+(** Spawns the pool on first call for multi-domain sessions; [None]
+    for single-domain ones. *)
+
+val counters : t -> Counters.t
+(** The arena's counter block (reset at each {!optimize}). *)
+
+val ctx :
+  ?interrupt:(unit -> bool) ->
+  ?threshold:float ->
+  ?growth:float ->
+  ?max_passes:int ->
+  ?counters:Counters.t ->
+  t ->
+  Registry.ctx
+(** The registry ctx {!optimize} uses, exposed so budget-holding
+    drivers (Guard/Degrade) can dispatch registry entries through the
+    session themselves. *)

@@ -1,0 +1,376 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Rng = Blitz_util.Rng
+module Arena = Blitz_core.Arena
+module Counters = Blitz_core.Counters
+module Dp_table = Blitz_core.Dp_table
+module Blitzsplit = Blitz_core.Blitzsplit
+module Threshold = Blitz_core.Threshold
+module Pool = Blitz_parallel.Pool
+module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
+module Hybrid = Blitz_hybrid.Hybrid
+module B = Blitz_baselines
+
+type problem = { catalog : Catalog.t; graph : Join_graph.t option }
+
+let problem ?graph catalog = { catalog; graph }
+
+type ctx = {
+  model : Cost_model.t;
+  arena : Arena.t option;
+  pool : Pool.t option;
+  num_domains : int;
+  interrupt : (unit -> bool) option;
+  threshold : float option;
+  growth : float option;
+  max_passes : int option;
+  seed : int;
+  counters : Counters.t option;
+}
+
+let ctx ?arena ?pool ?(num_domains = 1) ?interrupt ?threshold ?growth ?max_passes ?(seed = 1)
+    ?counters model =
+  if num_domains < 1 then invalid_arg "Registry.ctx: num_domains must be positive";
+  { model; arena; pool; num_domains; interrupt; threshold; growth; max_passes; seed; counters }
+
+type outcome = {
+  plan : Plan.t option;
+  cost : float;
+  passes : int;
+  final_threshold : float;
+  table : Dp_table.t option;
+  counters : Counters.t option;
+  note : string option;
+}
+
+type caps = {
+  max_n : int option;
+  tree_only : bool;
+  table_bytes : (n:int -> int) option;
+  parallelizable : bool;
+  exact : bool;
+  deadline_exempt : bool;
+}
+
+type entry = {
+  name : string;
+  summary : string;
+  caps : caps;
+  optimize : ctx -> problem -> outcome;
+}
+
+(* ---- shared helpers ---- *)
+
+let graph_of { catalog; graph } =
+  match graph with
+  | Some g -> g
+  | None -> Join_graph.no_predicates ~n:(Catalog.n catalog)
+
+let counters_of (c : ctx) = match c.counters with Some c -> c | None -> Counters.create ()
+
+let basic ?note ?counters ~plan ~cost () =
+  { plan; cost; passes = 1; final_threshold = Float.infinity; table = None; counters; note }
+
+let of_blitzsplit ?(passes = 1) ?(final_threshold = Float.infinity) ctr (r : Blitzsplit.t) =
+  {
+    plan = Blitzsplit.best_plan r;
+    cost = Blitzsplit.best_cost r;
+    passes;
+    final_threshold;
+    table = Some r.Blitzsplit.table;
+    counters = Some ctr;
+    note = None;
+  }
+
+let dp_caps =
+  {
+    max_n = Some Dp_table.max_relations;
+    tree_only = false;
+    table_bytes = Some (fun ~n -> Dp_table.estimate_bytes ~n ());
+    parallelizable = true;
+    exact = true;
+    deadline_exempt = false;
+  }
+
+let tablefree_caps =
+  {
+    max_n = None;
+    tree_only = false;
+    table_bytes = None;
+    parallelizable = false;
+    exact = false;
+    deadline_exempt = false;
+  }
+
+(* ---- the exact tier: blitzsplit, sequential or rank-parallel ---- *)
+
+(* [Parallel_blitzsplit.run] already folds down to the sequential
+   optimizer when it has neither a pool nor more than one domain, so
+   one call covers every (pool, num_domains) combination; the result is
+   bit-identical across all of them. *)
+let run_exact ctx p =
+  let ctr = counters_of ctx in
+  let r =
+    Parallel_blitzsplit.run ?pool:ctx.pool ~num_domains:ctx.num_domains ~graph_opt:p.graph
+      ?arena:ctx.arena ~counters:ctr ?interrupt:ctx.interrupt ctx.model p.catalog
+  in
+  of_blitzsplit ctr r
+
+(* ---- the thresholded tier (Section 6.4 driver) ---- *)
+
+(* With no explicit threshold the first pass is seeded from the greedy
+   bound: greedy's cost upper-bounds the optimum, so the pass prunes
+   aggressively yet cannot fail for numeric reasons alone (the policy
+   the degradation cascade has always used). *)
+let seed_threshold ctx p =
+  let _, greedy_cost = B.Greedy.optimize ctx.model p.catalog (graph_of p) in
+  if Float.is_finite greedy_cost && greedy_cost > 0.0 then greedy_cost *. (1.0 +. 1e-9) else 1e6
+
+let run_thresholded ctx p =
+  let ctr = counters_of ctx in
+  let threshold =
+    match ctx.threshold with Some t -> t | None -> seed_threshold ctx p
+  in
+  let outcome =
+    if ctx.pool <> None || ctx.num_domains > 1 then
+      match p.graph with
+      | Some g ->
+        Parallel_blitzsplit.threshold_optimize_join ?pool:ctx.pool ?arena:ctx.arena
+          ~counters:ctr ?growth:ctx.growth ?max_passes:ctx.max_passes ?interrupt:ctx.interrupt
+          ~num_domains:ctx.num_domains ~threshold ctx.model p.catalog g
+      | None ->
+        Parallel_blitzsplit.threshold_optimize_product ?pool:ctx.pool ?arena:ctx.arena
+          ~counters:ctr ?growth:ctx.growth ?max_passes:ctx.max_passes ?interrupt:ctx.interrupt
+          ~num_domains:ctx.num_domains ~threshold ctx.model p.catalog
+    else
+      match p.graph with
+      | Some g ->
+        Threshold.optimize_join ?arena:ctx.arena ~counters:ctr ?growth:ctx.growth
+          ?max_passes:ctx.max_passes ?interrupt:ctx.interrupt ~threshold ctx.model p.catalog g
+      | None ->
+        Threshold.optimize_product ?arena:ctx.arena ~counters:ctr ?growth:ctx.growth
+          ?max_passes:ctx.max_passes ?interrupt:ctx.interrupt ~threshold ctx.model p.catalog
+  in
+  of_blitzsplit ~passes:outcome.Threshold.passes
+    ~final_threshold:outcome.Threshold.final_threshold ctr outcome.Threshold.result
+
+(* ---- hybrid (Section 7): DP windows inside randomized search ---- *)
+
+let run_hybrid ctx p =
+  let rng = Rng.create ~seed:ctx.seed in
+  let interrupt = match ctx.interrupt with Some f -> f | None -> fun () -> false in
+  let (plan, cost), stats =
+    Hybrid.optimize ~rng ?arena:ctx.arena ~interrupt ctx.model p.catalog (graph_of p)
+  in
+  basic
+    ~note:
+      (Printf.sprintf "%d windows re-optimized, %d improved, %d kicks"
+         stats.Hybrid.windows_reoptimized stats.Hybrid.windows_improved stats.Hybrid.kicks)
+    ~plan:(Some plan) ~cost ()
+
+(* ---- baselines ---- *)
+
+let run_greedy ctx p =
+  let plan, cost = B.Greedy.optimize ctx.model p.catalog (graph_of p) in
+  basic ~plan:(Some plan) ~cost ()
+
+let run_ikkbz ctx p =
+  let g = graph_of p in
+  let r = B.Ikkbz.optimize p.catalog g in
+  (* IKKBZ optimizes C_out; report the plan's cost under the session
+     model for an honest cross-method comparison. *)
+  basic
+    ~note:"C_out ordering re-costed under the session model"
+    ~plan:(Some r.B.Ikkbz.plan)
+    ~cost:(Plan.cost ctx.model p.catalog g r.B.Ikkbz.plan)
+    ()
+
+let run_dpsize ~cartesian ctx p =
+  let r = B.Dpsize.optimize ~cartesian ctx.model p.catalog (graph_of p) in
+  basic ~plan:r.B.Dpsize.plan ~cost:r.B.Dpsize.cost
+    ~note:(Printf.sprintf "%d pairs considered" r.B.Dpsize.pairs_considered)
+    ()
+
+let run_leftdeep ~policy ctx p =
+  let ctr = counters_of ctx in
+  let r = B.Leftdeep.optimize ~policy ~counters:ctr ctx.model p.catalog (graph_of p) in
+  basic ~counters:ctr ~plan:r.B.Leftdeep.plan ~cost:r.B.Leftdeep.cost ()
+
+let run_iterative_improvement ctx p =
+  let rng = Rng.create ~seed:ctx.seed in
+  let (plan, cost), stats =
+    B.Iterative_improvement.optimize ~rng ctx.model p.catalog (graph_of p)
+  in
+  basic
+    ~note:
+      (Printf.sprintf "%d plans evaluated, %d restarts"
+         stats.B.Iterative_improvement.plans_evaluated
+         stats.B.Iterative_improvement.restarts_done)
+    ~plan:(Some plan) ~cost ()
+
+let run_simulated_annealing ctx p =
+  let rng = Rng.create ~seed:ctx.seed in
+  let (plan, cost), stats =
+    B.Simulated_annealing.optimize ~rng ctx.model p.catalog (graph_of p)
+  in
+  basic
+    ~note:
+      (Printf.sprintf "%d plans evaluated, %d uphill accepted"
+         stats.B.Simulated_annealing.plans_evaluated stats.B.Simulated_annealing.uphill_accepted)
+    ~plan:(Some plan) ~cost ()
+
+let run_random_probe ctx p =
+  let rng = Rng.create ~seed:ctx.seed in
+  let samples = 200 * Catalog.n p.catalog in
+  let plan, cost = B.Random_probe.optimize ~rng ~samples ctx.model p.catalog (graph_of p) in
+  basic ~note:(Printf.sprintf "%d samples" samples) ~plan:(Some plan) ~cost ()
+
+let run_volcano ctx p =
+  let (plan, cost), stats = B.Volcano.optimize ctx.model p.catalog (graph_of p) in
+  basic
+    ~note:
+      (Printf.sprintf "%d groups, %d expressions" stats.B.Volcano.groups
+         stats.B.Volcano.expressions)
+    ~plan:(Some plan) ~cost ()
+
+let run_dpccp ctx p =
+  let r = B.Dpccp.optimize ctx.model p.catalog (graph_of p) in
+  basic ~plan:r.B.Dpccp.plan ~cost:r.B.Dpccp.cost ()
+
+let run_bruteforce ctx p =
+  let plan, cost = B.Bruteforce.optimize ctx.model p.catalog (graph_of p) in
+  basic ~plan:(Some plan) ~cost ()
+
+(* ---- the registry itself ---- *)
+
+(* Builtins are registered here rather than by side effect elsewhere so
+   linking the library is enough to see them. *)
+let entries : entry list ref = ref []
+
+let register e =
+  if List.exists (fun e' -> e'.name = e.name) !entries then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate optimizer %S" e.name);
+  entries := !entries @ [ e ]
+
+let () =
+  List.iter register
+    [
+      {
+        name = "exact";
+        summary = "blitzsplit: exhaustive bushy DP with Cartesian products";
+        caps = dp_caps;
+        optimize = run_exact;
+      };
+      {
+        name = "thresholded";
+        summary = "blitzsplit under a plan-cost threshold with re-optimization passes";
+        caps = dp_caps;
+        optimize = run_thresholded;
+      };
+      {
+        name = "hybrid";
+        summary = "DP windows inside chained randomized search (any n)";
+        caps = tablefree_caps;
+        optimize = run_hybrid;
+      };
+      {
+        name = "ikkbz";
+        summary = "IKKBZ: optimal product-free left-deep order for tree queries";
+        caps = { tablefree_caps with tree_only = true };
+        optimize = run_ikkbz;
+      };
+      {
+        name = "greedy";
+        summary = "greedy min-cardinality pairing (the terminal fallback)";
+        caps = { tablefree_caps with deadline_exempt = true };
+        optimize = run_greedy;
+      };
+      {
+        name = "dpsize";
+        summary = "size-driven DP enumerator, Cartesian products allowed";
+        caps = { dp_caps with parallelizable = false };
+        optimize = run_dpsize ~cartesian:true;
+      };
+      {
+        name = "dpsize-no-products";
+        summary = "size-driven DP enumerator, connected joins only";
+        caps = { dp_caps with parallelizable = false; exact = false };
+        optimize = run_dpsize ~cartesian:false;
+      };
+      {
+        name = "leftdeep";
+        summary = "System-R-style left-deep DP, products allowed";
+        caps = { dp_caps with parallelizable = false; exact = false };
+        optimize = run_leftdeep ~policy:B.Leftdeep.Allowed;
+      };
+      {
+        name = "leftdeep-deferred";
+        summary = "left-deep DP with Cartesian products deferred to the end";
+        caps = { dp_caps with parallelizable = false; exact = false };
+        optimize = run_leftdeep ~policy:B.Leftdeep.Deferred;
+      };
+      {
+        name = "iterative-improvement";
+        summary = "random restarts + downhill transformation moves";
+        caps = tablefree_caps;
+        optimize = run_iterative_improvement;
+      };
+      {
+        name = "simulated-annealing";
+        summary = "annealed transformation search over bushy plans";
+        caps = tablefree_caps;
+        optimize = run_simulated_annealing;
+      };
+      {
+        name = "random-probe";
+        summary = "best of 200n independent random bushy plans";
+        caps = tablefree_caps;
+        optimize = run_random_probe;
+      };
+      {
+        name = "volcano";
+        summary = "rule-based memo explored to closure";
+        caps = { dp_caps with parallelizable = false };
+        optimize = run_volcano;
+      };
+      {
+        name = "dpccp";
+        summary = "connected-subgraph-pair DP (no Cartesian products)";
+        caps = { dp_caps with parallelizable = false; exact = false };
+        optimize = run_dpccp;
+      };
+      {
+        name = "bruteforce";
+        summary = "every bushy plan enumerated: the correctness oracle";
+        caps = { dp_caps with max_n = Some B.Bruteforce.max_relations; parallelizable = false };
+        optimize = run_bruteforce;
+      };
+    ]
+
+let all () = !entries
+
+let find name = List.find_opt (fun e -> e.name = name) !entries
+
+let find_exn name =
+  match find name with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Registry: unknown optimizer %S (known: %s)" name
+         (String.concat ", " (List.map (fun e -> e.name) !entries)))
+
+let names () = List.map (fun e -> e.name) !entries
+
+let optimize ?(optimizer = "exact") ctx p = (find_exn optimizer).optimize ctx p
+
+(* ---- metadata-driven eligibility ---- *)
+
+let eligible entry ~n ~is_tree =
+  if (match entry.caps.max_n with Some limit -> n > limit | None -> false) then
+    Error
+      (Printf.sprintf "%d relations exceed the %d-relation cap" n
+         (Option.get entry.caps.max_n))
+  else if entry.caps.tree_only && not is_tree then Error "join graph is not a tree"
+  else Ok ()

@@ -1,0 +1,122 @@
+(** One optimizer interface over every join-order algorithm in the
+    repository.
+
+    Each algorithm — the exact blitzsplit DP (sequential or
+    rank-parallel), the Section 6.4 thresholded driver, the Section 7
+    hybrid, and the [lib/baselines] family — registers under one
+    [optimize : ctx -> problem -> outcome] signature together with
+    capability metadata.  Callers (the degradation cascade, the CLI,
+    the bench harness, {!Engine}) dispatch by name and read eligibility
+    off the metadata instead of hand-wiring per-algorithm match arms
+    and duplicating [Dp_table.max_relations] / table-size logic. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Arena = Blitz_core.Arena
+module Counters = Blitz_core.Counters
+module Dp_table = Blitz_core.Dp_table
+module Pool = Blitz_parallel.Pool
+
+type problem = { catalog : Catalog.t; graph : Join_graph.t option }
+(** A query: its relations and, optionally, its join predicates.  A
+    [None] graph means pure Cartesian-product optimization (Section 3);
+    optimizers that require predicates treat it as a predicate-free
+    graph over the catalog. *)
+
+val problem : ?graph:Join_graph.t -> Catalog.t -> problem
+
+type ctx = {
+  model : Cost_model.t;
+  arena : Arena.t option;  (** Session workspace for DP-table reuse. *)
+  pool : Pool.t option;  (** Already-spawned domain pool to run on. *)
+  num_domains : int;  (** Rank-parallel width; 1 = sequential. *)
+  interrupt : (unit -> bool) option;  (** Deadline/cancellation probe. *)
+  threshold : float option;
+      (** Initial plan-cost threshold for ["thresholded"]; [None] seeds
+          it from the greedy bound (the cascade's policy). *)
+  growth : float option;  (** Threshold growth factor between passes. *)
+  max_passes : int option;
+  seed : int;  (** Drives every stochastic optimizer. *)
+  counters : Counters.t option;  (** Accumulates split-loop counts. *)
+}
+(** Everything an optimizer may draw on, problem-independent: one [ctx]
+    can serve many problems (that is what {!Engine} does). *)
+
+val ctx :
+  ?arena:Arena.t ->
+  ?pool:Pool.t ->
+  ?num_domains:int ->
+  ?interrupt:(unit -> bool) ->
+  ?threshold:float ->
+  ?growth:float ->
+  ?max_passes:int ->
+  ?seed:int ->
+  ?counters:Counters.t ->
+  Cost_model.t ->
+  ctx
+(** Smart constructor; [num_domains] defaults to 1, [seed] to 1.
+    Raises [Invalid_argument] on a non-positive [num_domains]. *)
+
+type outcome = {
+  plan : Plan.t option;  (** [None] when the method found no plan. *)
+  cost : float;  (** Under [ctx.model]; [infinity]/[nan] possible. *)
+  passes : int;  (** Optimization passes run (thresholded driver). *)
+  final_threshold : float;  (** [infinity] when unthresholded. *)
+  table : Dp_table.t option;
+      (** The filled DP table, for optimizers that build one.  When the
+          ctx carried an arena this is a view of the arena's buffer —
+          valid until the next acquire. *)
+  counters : Counters.t option;  (** The counters the run accumulated into. *)
+  note : string option;  (** Method-specific diagnostics, one line. *)
+}
+
+type caps = {
+  max_n : int option;  (** Largest relation count the method accepts. *)
+  tree_only : bool;  (** Requires an acyclic (tree) join graph. *)
+  table_bytes : (n:int -> int) option;
+      (** Estimated table footprint before allocation, for memory
+          ceilings; [None] for table-free methods. *)
+  parallelizable : bool;  (** Honors [ctx.pool]/[ctx.num_domains]. *)
+  exact : bool;  (** Guaranteed optimal when it returns a plan. *)
+  deadline_exempt : bool;
+      (** Cheap enough to run even on an expired budget (greedy — the
+          cascade's terminal guarantee). *)
+}
+
+type entry = {
+  name : string;
+  summary : string;
+  caps : caps;
+  optimize : ctx -> problem -> outcome;
+}
+(** [optimize] may raise [Blitzsplit.Interrupted] (when [ctx.interrupt]
+    fires) or [Invalid_argument] (caps violated); anything else is a
+    bug. *)
+
+val register : entry -> unit
+(** Add an optimizer.  Raises [Invalid_argument] on a duplicate name.
+    The built-in entries are registered at module initialization:
+    [exact], [thresholded], [hybrid], [ikkbz], [greedy], [dpsize],
+    [dpsize-no-products], [leftdeep], [leftdeep-deferred],
+    [iterative-improvement], [simulated-annealing], [random-probe],
+    [volcano], [dpccp], [bruteforce]. *)
+
+val all : unit -> entry list
+(** In registration order. *)
+
+val names : unit -> string list
+val find : string -> entry option
+
+val find_exn : string -> entry
+(** Raises [Invalid_argument] with the list of known names. *)
+
+val optimize : ?optimizer:string -> ctx -> problem -> outcome
+(** [optimize ~optimizer ctx p] = [(find_exn optimizer).optimize ctx p];
+    [optimizer] defaults to ["exact"]. *)
+
+val eligible : entry -> n:int -> is_tree:bool -> (unit, string) result
+(** Quick metadata check: [Error reason] when the entry's caps rule the
+    problem out ([max_n], [tree_only]).  Memory ceilings are the
+    budget-holder's side (see [Degrade.eligibility]). *)

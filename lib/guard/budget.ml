@@ -60,13 +60,11 @@ let interrupt t () = expired t
    widened by the extra columns.  The estimate is computed BEFORE
    allocation so an oversized query is rejected instead of taking down
    the process. *)
-let table_bytes ?(with_pi_fan = true) ~n () =
-  let bytes_per_slot = if with_pi_fan then 40 else 32 in
+let table_bytes ?with_pi_fan ~n () =
   if n < 1 then invalid_arg "Budget.table_bytes: n must be positive"
-  else if n >= 50 then max_int (* 40 * 2^50 already overflows any ceiling we accept *)
-  else bytes_per_slot * (1 lsl n)
+  else Blitz_core.Dp_table.estimate_bytes ?with_pi_fan ~n ()
 
-let admits_table ?with_pi_fan t ~n =
-  match t.max_table_bytes with
-  | None -> true
-  | Some limit -> table_bytes ?with_pi_fan ~n () <= limit
+let admits_bytes t bytes =
+  match t.max_table_bytes with None -> true | Some limit -> bytes <= limit
+
+let admits_table ?with_pi_fan t ~n = admits_bytes t (table_bytes ?with_pi_fan ~n ())

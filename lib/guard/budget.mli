@@ -60,3 +60,11 @@ val table_bytes : ?with_pi_fan:bool -> n:int -> unit -> int
 val admits_table : ?with_pi_fan:bool -> t -> n:int -> bool
 (** Whether the table for [n] relations fits under the ceiling (always
     true when no ceiling was set). *)
+
+val admits_bytes : t -> int -> bool
+(** Whether a footprint of the given size fits under the ceiling.  For
+    session (arena) use: charge [Arena.bytes_after] — the resident
+    high-water mark the arena would hold after the query — rather than
+    the per-call table size, so a session that already owns a large
+    enough buffer is not double-charged for a small query, and a query
+    that would grow the buffer is charged for the growth. *)

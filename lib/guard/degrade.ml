@@ -3,21 +3,23 @@ module Join_graph = Blitz_graph.Join_graph
 module Cost_model = Blitz_cost.Cost_model
 module Plan = Blitz_plan.Plan
 module Blitzsplit = Blitz_core.Blitzsplit
-module Threshold = Blitz_core.Threshold
-module Dp_table = Blitz_core.Dp_table
-module Hybrid = Blitz_hybrid.Hybrid
-module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
+module Arena = Blitz_core.Arena
+module Pool = Blitz_parallel.Pool
+module Registry = Blitz_engine.Registry
 module B = Blitz_baselines
-module Rng = Blitz_util.Rng
 
 type tier = Exact | Thresholded | Hybrid_windows | Ikkbz | Greedy
 
+(* Tier names double as registry keys: the cascade no longer owns any
+   algorithm invocation code, it sequences registry entries. *)
 let tier_name = function
   | Exact -> "exact"
   | Thresholded -> "thresholded"
   | Hybrid_windows -> "hybrid"
   | Ikkbz -> "ikkbz"
   | Greedy -> "greedy"
+
+let tier_entry tier = Registry.find_exn (tier_name tier)
 
 let default_cascade = [ Exact; Thresholded; Hybrid_windows; Ikkbz; Greedy ]
 
@@ -71,34 +73,47 @@ let pp_provenance ppf p =
     p.attempts;
   Format.fprintf ppf "@]"
 
-(* A tier is skipped — never attempted — when a precondition already
-   rules it out: the [2^n] table cannot exist (size or memory ceiling),
-   the algorithm does not apply (IKKBZ needs a tree query), or the
-   deadline is already gone.  [Greedy] is the terminal guarantee: it is
-   [O(n^3)] with no table and always runs, deadline or not, so the
-   cascade always ends with a plan. *)
-let eligibility ~budget tier catalog graph =
+(* A tier is skipped — never attempted — when its registry metadata
+   already rules it out: the [2^n] table cannot exist (size cap or
+   memory ceiling), the algorithm does not apply (IKKBZ needs a tree
+   query), or the deadline is already gone.  [Greedy] is the terminal
+   guarantee: its entry is deadline-exempt — [O(n^3)], no table — so
+   the cascade always ends with a plan.  With a session [arena] the
+   memory check charges the arena's would-be resident high-water mark
+   ([Arena.bytes_after]) instead of the per-call table size. *)
+let eligibility ?arena ~budget tier catalog graph =
   let n = Catalog.n catalog in
-  let table_ok () =
-    if n > Dp_table.max_relations then
-      Some (Too_large { n; limit = Dp_table.max_relations })
-    else if not (Budget.admits_table budget ~n) then
-      Some
-        (Memory
-           {
-             needed_bytes = Budget.table_bytes ~n ();
-             limit_bytes = Option.value ~default:max_int (Budget.max_table_bytes budget);
-           })
-    else None
-  in
-  match tier with
-  | Greedy -> None
-  | _ when Budget.expired budget -> Some Deadline_expired
-  | Exact | Thresholded -> table_ok ()
-  | Hybrid_windows -> None
-  | Ikkbz -> if B.Ikkbz.is_tree graph then None else Some (Not_applicable "join graph is not a tree")
+  let caps = (tier_entry tier).Registry.caps in
+  if caps.Registry.deadline_exempt then None
+  else if Budget.expired budget then Some Deadline_expired
+  else
+    match caps.Registry.max_n with
+    | Some limit when n > limit -> Some (Too_large { n; limit })
+    | Some _ | None -> (
+      let memory_ok =
+        match caps.Registry.table_bytes with
+        | None -> None
+        | Some bytes ->
+          let needed_bytes =
+            match arena with Some a -> Arena.bytes_after a ~n () | None -> bytes ~n
+          in
+          if Budget.admits_bytes budget needed_bytes then None
+          else
+            Some
+              (Memory
+                 {
+                   needed_bytes;
+                   limit_bytes = Option.value ~default:max_int (Budget.max_table_bytes budget);
+                 })
+      in
+      match memory_ok with
+      | Some _ as skip -> skip
+      | None ->
+        if caps.Registry.tree_only && not (B.Ikkbz.is_tree graph) then
+          Some (Not_applicable "join graph is not a tree")
+        else None)
 
-let run_tier ?(num_domains = 1) ~budget ~seed tier model catalog graph =
+let run_tier ?(num_domains = 1) ?arena ?pool ~budget ~seed tier model catalog graph =
   let interrupt = Budget.interrupt budget in
   (* A plan with an overflowed (infinite) cost estimate is still a valid
      join order and better than nothing; only NaN — or no plan at all —
@@ -107,67 +122,28 @@ let run_tier ?(num_domains = 1) ~budget ~seed tier model catalog graph =
     | Some plan, cost when not (Float.is_nan cost) -> Ok (plan, cost)
     | _ -> Error No_finite_plan
   in
-  match tier with
-  | Exact -> (
-    (* With several domains the DP runs rank-parallel; the result — cost
-       and plan — is bit-identical to the sequential search, so the tier
-       keeps its "exact" meaning (Budget.interrupt is domain-safe). *)
-    let optimize () =
-      if num_domains > 1 then
-        Parallel_blitzsplit.optimize_join ~num_domains ~interrupt model catalog graph
-      else Blitzsplit.optimize_join ~interrupt model catalog graph
-    in
-    match optimize () with
-    | result -> finish (Blitzsplit.best_plan result, Blitzsplit.best_cost result)
-    | exception Blitzsplit.Interrupted -> Error Deadline)
-  | Thresholded -> (
-    (* Seed the threshold from the greedy bound: greedy's cost is an upper
-       bound on the optimum, so the first pass prunes aggressively yet
-       cannot fail for numeric reasons alone. *)
-    let _, greedy_cost = B.Greedy.optimize model catalog graph in
-    let threshold =
-      if Float.is_finite greedy_cost && greedy_cost > 0.0 then greedy_cost *. (1.0 +. 1e-9)
-      else 1e6
-    in
-    let optimize () =
-      if num_domains > 1 then
-        Parallel_blitzsplit.threshold_optimize_join ~num_domains ~interrupt ~threshold model
-          catalog graph
-      else Threshold.optimize_join ~interrupt ~threshold model catalog graph
-    in
-    match optimize () with
-    | outcome ->
-      finish
-        ( Blitzsplit.best_plan outcome.Threshold.result,
-          Blitzsplit.best_cost outcome.Threshold.result )
-    | exception Blitzsplit.Interrupted -> Error Deadline)
-  | Hybrid_windows ->
-    (* Anytime: an interrupt returns the chain's best so far, which is at
-       worst the greedy starting plan — so this tier aborts only when the
-       numbers themselves are beyond repair. *)
-    let rng = Rng.create ~seed in
-    let (plan, cost), _stats = Hybrid.optimize ~rng ~interrupt model catalog graph in
-    finish (Some plan, cost)
-  | Ikkbz ->
-    let r = B.Ikkbz.optimize catalog graph in
-    (* IKKBZ optimizes C_out; report the plan's cost under the session
-       model for an honest cross-tier comparison. *)
-    finish (Some r.B.Ikkbz.plan, Plan.cost model catalog graph r.B.Ikkbz.plan)
-  | Greedy ->
-    let plan, cost = B.Greedy.optimize model catalog graph in
-    finish (Some plan, cost)
+  (* With several domains the DP tiers run rank-parallel; the result —
+     cost and plan — is bit-identical to the sequential search, so the
+     exact tier keeps its meaning (Budget.interrupt is domain-safe).
+     The thresholded entry seeds its first pass from the greedy bound
+     when the ctx carries no threshold — the cascade's policy. *)
+  let ctx = Registry.ctx ?arena ?pool ~num_domains ~interrupt ~seed model in
+  match (tier_entry tier).Registry.optimize ctx (Registry.problem ~graph catalog) with
+  | o -> finish (o.Registry.plan, o.Registry.cost)
+  | exception Blitzsplit.Interrupted -> Error Deadline
 
-let optimize ?(cascade = default_cascade) ?(seed = 1) ?num_domains ~budget model catalog graph =
+let optimize ?(cascade = default_cascade) ?(seed = 1) ?num_domains ?arena ?pool ~budget model
+    catalog graph =
   let t_start = Budget.elapsed_ms budget in
   let rec go attempts = function
     | [] -> Error (List.rev attempts)
     | tier :: rest -> (
-      match eligibility ~budget tier catalog graph with
+      match eligibility ?arena ~budget tier catalog graph with
       | Some reason ->
         go ({ tier; status = Skipped reason; elapsed_ms = 0.0 } :: attempts) rest
       | None -> (
         let t0 = Budget.elapsed_ms budget in
-        match run_tier ?num_domains ~budget ~seed tier model catalog graph with
+        match run_tier ?num_domains ?arena ?pool ~budget ~seed tier model catalog graph with
         | Ok (plan, cost) ->
           let elapsed_ms = Budget.elapsed_ms budget -. t0 in
           let attempts = List.rev ({ tier; status = Produced cost; elapsed_ms } :: attempts) in

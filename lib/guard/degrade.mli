@@ -21,6 +21,8 @@ module Catalog = Blitz_catalog.Catalog
 module Join_graph = Blitz_graph.Join_graph
 module Cost_model = Blitz_cost.Cost_model
 module Plan = Blitz_plan.Plan
+module Arena = Blitz_core.Arena
+module Pool = Blitz_parallel.Pool
 
 type tier =
   | Exact  (** Unthresholded blitzsplit: the [O(3^n)] optimum. *)
@@ -64,13 +66,21 @@ type provenance = {
 val pp_attempt : Format.formatter -> attempt -> unit
 val pp_provenance : Format.formatter -> provenance -> unit
 
-val eligibility : budget:Budget.t -> tier -> Catalog.t -> Join_graph.t -> skip_reason option
+val eligibility :
+  ?arena:Arena.t -> budget:Budget.t -> tier -> Catalog.t -> Join_graph.t -> skip_reason option
 (** [None] when the tier may be attempted under the budget's current
-    state; otherwise why it must be skipped.  {!Greedy} is always
-    eligible. *)
+    state; otherwise why it must be skipped.  The checks are read off
+    the tier's registry-entry capability metadata ([Blitz_engine]) —
+    size cap, table footprint, tree-only, deadline exemption — not
+    duplicated here.  {!Greedy} is always eligible (deadline-exempt).
+    With [arena] the memory ceiling charges the session's would-be
+    resident high-water mark ({!Arena.bytes_after}) rather than the
+    per-call table size. *)
 
 val run_tier :
   ?num_domains:int ->
+  ?arena:Arena.t ->
+  ?pool:Pool.t ->
   budget:Budget.t ->
   seed:int ->
   tier ->
@@ -84,12 +94,17 @@ val run_tier :
     DP tiers run rank-parallel on that many domains — bit-identical
     results, so tier semantics are unchanged; the other tiers are
     table-free fallbacks and stay single-domain.  Exposed so tests can
-    compare every tier's plan against the exact optimum. *)
+    compare every tier's plan against the exact optimum.  Tiers are
+    dispatched through the [Blitz_engine] registry; [arena]/[pool]
+    plug a session's pooled DP table and spawned domain pool in
+    (bit-identical results either way). *)
 
 val optimize :
   ?cascade:tier list ->
   ?seed:int ->
   ?num_domains:int ->
+  ?arena:Arena.t ->
+  ?pool:Pool.t ->
   budget:Budget.t ->
   Cost_model.t ->
   Catalog.t ->

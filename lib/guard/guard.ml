@@ -2,6 +2,7 @@ module Catalog = Blitz_catalog.Catalog
 module Join_graph = Blitz_graph.Join_graph
 module Cost_model = Blitz_cost.Cost_model
 module Plan = Blitz_plan.Plan
+module Engine = Blitz_engine.Engine
 
 type outcome = {
   plan : Plan.t;
@@ -37,27 +38,39 @@ let pp_error ppf e = Format.pp_print_string ppf (error_message e)
    catch-all converts any escaped exception — there should be none, but
    a resilient driver does not get to assume that — into a typed error
    rather than unwinding through the caller. *)
-let drive ~budget ~cascade ~seed ~num_domains model catalog graph repairs =
+let drive ~budget ~cascade ~seed ~num_domains ~session model catalog graph repairs =
   Budget.start budget;
-  match Degrade.optimize ?cascade ?seed ?num_domains ~budget model catalog graph with
+  (* A session plugs its pooled DP table and spawned domain pool into
+     the cascade; its domain count is the default when the caller gave
+     none.  Plans and costs are bit-identical with or without it. *)
+  let arena = Option.map Engine.arena session in
+  let pool = Option.bind session Engine.pool in
+  let num_domains =
+    match (num_domains, session) with
+    | (Some _ as d), _ -> d
+    | None, Some s -> Some (Engine.num_domains s)
+    | None, None -> None
+  in
+  match Degrade.optimize ?cascade ?seed ?num_domains ?arena ?pool ~budget model catalog graph with
   | Ok (plan, provenance) ->
     Ok { plan; cost = provenance.Degrade.winner_cost; provenance; repairs; catalog; graph }
   | Error attempts -> Error (No_tier_produced attempts)
   | exception exn -> Error (Internal (Printexc.to_string exn))
 
-let optimize ?budget ?cascade ?seed ?num_domains model catalog graph =
+let optimize ?budget ?session ?cascade ?seed ?num_domains model catalog graph =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   match Sanitize.check_pair catalog graph with
   | Error issues -> Error (Invalid_input issues)
   | Ok clean ->
-    drive ~budget ~cascade ~seed ~num_domains model clean.Sanitize.catalog clean.Sanitize.graph
-      clean.Sanitize.repairs
+    drive ~budget ~cascade ~seed ~num_domains ~session model clean.Sanitize.catalog
+      clean.Sanitize.graph clean.Sanitize.repairs
 
-let optimize_input ?budget ?policy ?cascade ?seed ?num_domains model ~relations ~edges () =
+let optimize_input ?budget ?session ?policy ?cascade ?seed ?num_domains model ~relations ~edges
+    () =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   match Sanitize.check ?policy ~relations ~edges () with
   | Error issues -> Error (Invalid_input issues)
   | exception exn -> Error (Internal (Printexc.to_string exn))
   | Ok clean ->
-    drive ~budget ~cascade ~seed ~num_domains model clean.Sanitize.catalog clean.Sanitize.graph
-      clean.Sanitize.repairs
+    drive ~budget ~cascade ~seed ~num_domains ~session model clean.Sanitize.catalog
+      clean.Sanitize.graph clean.Sanitize.repairs

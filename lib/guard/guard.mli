@@ -38,6 +38,7 @@ val pp_error : Format.formatter -> error -> unit
 
 val optimize :
   ?budget:Budget.t ->
+  ?session:Blitz_engine.Engine.t ->
   ?cascade:Degrade.tier list ->
   ?seed:int ->
   ?num_domains:int ->
@@ -50,10 +51,15 @@ val optimize :
     be reused across calls.  With no deadline and default cascade the
     result matches [Blitzsplit.optimize_join] exactly — including with
     [num_domains > 1], which runs the DP tiers rank-parallel on that
-    many domains with bit-identical results (see {!Degrade.run_tier}). *)
+    many domains with bit-identical results (see {!Degrade.run_tier}).
+    [session] plugs a [Blitz_engine.Engine] session in: the DP tiers
+    draw their table from its arena and its spawned pool, and its
+    domain count is the default when [num_domains] is omitted — the
+    way to run many guarded queries without per-query allocation. *)
 
 val optimize_input :
   ?budget:Budget.t ->
+  ?session:Blitz_engine.Engine.t ->
   ?policy:Sanitize.policy ->
   ?cascade:Degrade.tier list ->
   ?seed:int ->

@@ -69,7 +69,7 @@ let decompose ~window subtree =
    composite estimates agree with the leaf-level ones on every union of
    units, so the arrangement found is optimal among all arrangements of
    these units.  Unit-internal structure (and cost) is untouched. *)
-let reoptimize_units model catalog graph units =
+let reoptimize_units ?arena model catalog graph units =
   let k = List.length units in
   if k < 2 || k > Dp_table.max_relations then None
   else begin
@@ -89,7 +89,7 @@ let reoptimize_units model catalog graph units =
         done
       done;
       let composite_graph = Join_graph.of_edges ~n:k !edges in
-      let result = Blitzsplit.optimize_join model composite_catalog composite_graph in
+      let result = Blitzsplit.optimize_join ?arena model composite_catalog composite_graph in
       match Blitzsplit.best_plan result with
       | None -> None
       | Some arrangement ->
@@ -124,8 +124,8 @@ let subtree_at plan path =
   in
   go plan path
 
-let optimize ~rng ?window ?kicks ?(kick_strength = 3) ?start ?(interrupt = fun () -> false) model
-    catalog graph =
+let optimize ~rng ?arena ?window ?kicks ?(kick_strength = 3) ?start
+    ?(interrupt = fun () -> false) model catalog graph =
   let n = Catalog.n catalog in
   if Join_graph.n graph <> n then invalid_arg "Hybrid.optimize: graph/catalog size mismatch";
   if kick_strength < 1 then invalid_arg "Hybrid.optimize: kick_strength must be positive";
@@ -164,7 +164,7 @@ let optimize ~rng ?window ?kicks ?(kick_strength = 3) ?start ?(interrupt = fun (
     let reoptimize_window plan path =
       incr reopts;
       let subtree = subtree_at plan path in
-      match reoptimize_units model catalog graph (decompose ~window subtree) with
+      match reoptimize_units ?arena model catalog graph (decompose ~window subtree) with
       | None -> None
       | Some subtree' -> Some (replace_at plan path subtree')
     in

@@ -36,6 +36,7 @@ type stats = {
 
 val optimize :
   rng:Rng.t ->
+  ?arena:Blitz_core.Arena.t ->
   ?window:int ->
   ?kicks:int ->
   ?kick_strength:int ->
@@ -45,7 +46,11 @@ val optimize :
   Catalog.t ->
   Join_graph.t ->
   (Plan.t * float) * stats
-(** [optimize ~rng model catalog graph] runs chained descent.  [window]
+(** [optimize ~rng model catalog graph] runs chained descent.  [arena]
+    pools the DP tables of the window re-optimizations (one small table
+    per window size instead of a fresh allocation per window — the inner
+    blitzsplit runs thousands of times on big plans); results are
+    bit-identical either way.  [window]
     (default [min 10 n]) bounds exact-reoptimization size;
     [kicks] (default [4 * n]) bounds perturbation phases;
     [kick_strength] (default 3) is the number of random moves per kick;

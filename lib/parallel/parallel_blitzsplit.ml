@@ -7,6 +7,7 @@ module Dp_table = Blitz_core.Dp_table
 module Split_loop = Blitz_core.Split_loop
 module Counters = Blitz_core.Counters
 module Threshold = Blitz_core.Threshold
+module Arena = Blitz_core.Arena
 
 let recommended_domains () = Domain.recommended_domain_count ()
 
@@ -68,9 +69,17 @@ let unrank_subset binom ~k m =
    O(chunks) boundary lines.  Counters are per-domain records allocated
    *inside* each domain (first touch) and merged at the end — no shared
    hot words at all. *)
-let parallel_run pool ~graph_opt ~ctr ~threshold ~interrupt model catalog graph =
+let parallel_run pool ~graph_opt ~arena ~ctr ~threshold ~interrupt model catalog graph =
   let n = Catalog.n catalog in
-  let tbl = Dp_table.create ~with_pi_fan:(Option.is_some graph_opt) n in
+  let with_pi_fan = Option.is_some graph_opt in
+  let tbl =
+    (* The coordinator resets/acquires before workers run and reads after
+       the final barrier — [Pool.run]'s fork/join ordering makes the
+       buffer safely visible to every domain. *)
+    match arena with
+    | Some a -> Arena.acquire a ~with_pi_fan n
+    | None -> Dp_table.create ~with_pi_fan n
+  in
   Split_loop.init_singletons tbl model catalog;
   let workers = Pool.num_domains pool in
   let per_domain = Array.make workers None in
@@ -138,8 +147,8 @@ let parallel_run pool ~graph_opt ~ctr ~threshold ~interrupt model catalog graph 
   merge_counters ();
   tbl
 
-let run ?pool ~num_domains ~graph_opt ?counters ?(threshold = Float.infinity) ?interrupt model
-    catalog =
+let run ?pool ~num_domains ~graph_opt ?arena ?counters ?(threshold = Float.infinity)
+    ?interrupt model catalog =
   if threshold <= 0.0 then invalid_arg "Parallel_blitzsplit: threshold must be positive";
   let n = Catalog.n catalog in
   let graph =
@@ -157,44 +166,57 @@ let run ?pool ~num_domains ~graph_opt ?counters ?(threshold = Float.infinity) ?i
     (* No pool to amortize and a single domain: the sequential optimizer
        is the same computation without the pool plumbing. *)
     match graph_opt with
-    | Some _ -> Blitzsplit.optimize_join ?counters ~threshold ?interrupt model catalog graph
-    | None -> Blitzsplit.optimize_product ?counters ~threshold ?interrupt model catalog)
+    | Some _ ->
+      Blitzsplit.optimize_join ?arena ?counters ~threshold ?interrupt model catalog graph
+    | None -> Blitzsplit.optimize_product ?arena ?counters ~threshold ?interrupt model catalog)
   | _ ->
     let ctr = match counters with Some c -> c | None -> Counters.create () in
     ctr.Counters.passes <- ctr.Counters.passes + 1;
     let table =
       match pool with
-      | Some pool -> parallel_run pool ~graph_opt ~ctr ~threshold ~interrupt model catalog graph
+      | Some pool ->
+        parallel_run pool ~graph_opt ~arena ~ctr ~threshold ~interrupt model catalog graph
       | None ->
         Pool.with_pool ~num_domains (fun pool ->
-            parallel_run pool ~graph_opt ~ctr ~threshold ~interrupt model catalog graph)
+            parallel_run pool ~graph_opt ~arena ~ctr ~threshold ~interrupt model catalog graph)
     in
     { Blitzsplit.table; counters = ctr; catalog; graph; model; threshold }
 
-let optimize_join ?pool ?num_domains ?counters ?threshold ?interrupt model catalog graph =
+let optimize_join ?pool ?num_domains ?arena ?counters ?threshold ?interrupt model catalog
+    graph =
   let num_domains =
     match num_domains with Some d -> d | None -> recommended_domains ()
   in
-  run ?pool ~num_domains ~graph_opt:(Some graph) ?counters ?threshold ?interrupt model catalog
+  run ?pool ~num_domains ~graph_opt:(Some graph) ?arena ?counters ?threshold ?interrupt model
+    catalog
 
-let optimize_product ?pool ?num_domains ?counters ?threshold ?interrupt model catalog =
+let optimize_product ?pool ?num_domains ?arena ?counters ?threshold ?interrupt model catalog =
   let num_domains =
     match num_domains with Some d -> d | None -> recommended_domains ()
   in
-  run ?pool ~num_domains ~graph_opt:None ?counters ?threshold ?interrupt model catalog
+  run ?pool ~num_domains ~graph_opt:None ?arena ?counters ?threshold ?interrupt model catalog
 
 (* Threshold escalation over the parallel passes: one pool outlives all
    passes, so re-optimization pays the Domain.spawn cost once. *)
 
-let threshold_optimize_join ?counters ?growth ?max_passes ?interrupt ~num_domains ~threshold
-    model catalog graph =
-  Pool.with_pool ~num_domains (fun pool ->
-      Threshold.drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
-          run ~pool ~num_domains ~graph_opt:(Some graph) ~counters ~threshold ?interrupt model
-            catalog))
+let private_arena = function Some a -> a | None -> Arena.create ()
 
-let threshold_optimize_product ?counters ?growth ?max_passes ?interrupt ~num_domains ~threshold
-    model catalog =
-  Pool.with_pool ~num_domains (fun pool ->
-      Threshold.drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
-          run ~pool ~num_domains ~graph_opt:None ~counters ~threshold ?interrupt model catalog))
+let threshold_optimize_join ?pool ?arena ?counters ?growth ?max_passes ?interrupt ~num_domains
+    ~threshold model catalog graph =
+  let arena = private_arena arena in
+  let drive pool =
+    Threshold.drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
+        run ~pool ~num_domains ~graph_opt:(Some graph) ~arena ~counters ~threshold ?interrupt
+          model catalog)
+  in
+  match pool with Some pool -> drive pool | None -> Pool.with_pool ~num_domains drive
+
+let threshold_optimize_product ?pool ?arena ?counters ?growth ?max_passes ?interrupt
+    ~num_domains ~threshold model catalog =
+  let arena = private_arena arena in
+  let drive pool =
+    Threshold.drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
+        run ~pool ~num_domains ~graph_opt:None ~arena ~counters ~threshold ?interrupt model
+          catalog)
+  in
+  match pool with Some pool -> drive pool | None -> Pool.with_pool ~num_domains drive

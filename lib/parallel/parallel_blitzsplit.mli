@@ -33,6 +33,7 @@ module Cost_model = Blitz_cost.Cost_model
 module Blitzsplit = Blitz_core.Blitzsplit
 module Counters = Blitz_core.Counters
 module Threshold = Blitz_core.Threshold
+module Arena = Blitz_core.Arena
 
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the default worker count. *)
@@ -41,6 +42,7 @@ val run :
   ?pool:Pool.t ->
   num_domains:int ->
   graph_opt:Join_graph.t option ->
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?threshold:float ->
   ?interrupt:(unit -> bool) ->
@@ -54,13 +56,17 @@ val run :
     used (and [num_domains] ignored); otherwise a fresh pool of
     [num_domains] domains lives for the duration of the call.  With no
     pool and [num_domains <= 1] this is exactly the sequential
-    optimizer.  Raises {!Blitzsplit.Interrupted} when the probe fires,
-    [Invalid_argument] on a non-positive threshold or a graph/catalog
-    size mismatch. *)
+    optimizer.  [?arena] draws the DP table from a session workspace
+    ({!Blitz_core.Arena}) instead of a fresh allocation — the
+    coordinator acquires it before workers start and the results stay
+    bit-identical.  Raises {!Blitzsplit.Interrupted} when the probe
+    fires, [Invalid_argument] on a non-positive threshold or a
+    graph/catalog size mismatch. *)
 
 val optimize_join :
   ?pool:Pool.t ->
   ?num_domains:int ->
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?threshold:float ->
   ?interrupt:(unit -> bool) ->
@@ -74,6 +80,7 @@ val optimize_join :
 val optimize_product :
   ?pool:Pool.t ->
   ?num_domains:int ->
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?threshold:float ->
   ?interrupt:(unit -> bool) ->
@@ -87,9 +94,14 @@ val optimize_product :
 
     {!Threshold.drive} over parallel passes: the multi-pass
     re-optimization of Section 6.4 with one domain pool amortized
-    across every pass (and the rescue pass). *)
+    across every pass (and the rescue pass).  [?pool] reuses a caller's
+    already-spawned pool; [?arena] additionally reuses one DP table
+    across the passes (a private arena is made otherwise, so retries
+    never reallocate). *)
 
 val threshold_optimize_join :
+  ?pool:Pool.t ->
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?growth:float ->
   ?max_passes:int ->
@@ -102,6 +114,8 @@ val threshold_optimize_join :
   Threshold.outcome
 
 val threshold_optimize_product :
+  ?pool:Pool.t ->
+  ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?growth:float ->
   ?max_passes:int ->

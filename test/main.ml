@@ -20,6 +20,7 @@ let () =
       ("ikkbz", Test_ikkbz.suite);
       ("volcano", Test_volcano.suite);
       ("hybrid", Test_hybrid.suite);
+      ("engine", Test_engine.suite);
       ("guard", Test_guard.suite);
       ("workload", Test_workload.suite);
       ("tpch", Test_tpch.suite);

@@ -1,0 +1,302 @@
+(* Blitz_engine: the session/arena layer and the optimizer registry.
+
+   The engine's core claim is that session reuse is unobservable in the
+   results: any query run through a session's arena-pooled table and
+   recycled counters yields bit-identical cost, plan and counter totals
+   to a fresh-allocation run — for every registered optimizer, across
+   arbitrary query sequences (the arena shrinking and growing between
+   queries), and at every domain count.
+
+   BLITZ_TEST_DOMAINS=N adds N to the domain axis, as in
+   test_parallel.ml. *)
+
+open Test_helpers
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Arena = Blitz_core.Arena
+module Counters = Blitz_core.Counters
+module Dp_table = Blitz_core.Dp_table
+module Blitzsplit = Blitz_core.Blitzsplit
+module Registry = Blitz_engine.Registry
+module Engine = Blitz_engine.Engine
+module B = Blitz_baselines
+
+let env_domains =
+  match Sys.getenv_opt "BLITZ_TEST_DOMAINS" with
+  | None -> []
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 && d <= 128 -> [ d ]
+    | _ -> failwith (Printf.sprintf "BLITZ_TEST_DOMAINS=%S is not a domain count in [1, 128]" s))
+
+let domain_axis = List.sort_uniq compare ([ 1; 2; 4 ] @ env_domains)
+
+let counters_equal a b =
+  a.Counters.subsets = b.Counters.subsets
+  && a.Counters.loop_iters = b.Counters.loop_iters
+  && a.Counters.operand_sums = b.Counters.operand_sums
+  && a.Counters.dprime_evals = b.Counters.dprime_evals
+  && a.Counters.improvements = b.Counters.improvements
+  && a.Counters.threshold_skips = b.Counters.threshold_skips
+  && a.Counters.infeasible = b.Counters.infeasible
+  && a.Counters.passes = b.Counters.passes
+
+let outcome_equal (a : Registry.outcome) (b : Registry.outcome) =
+  compare a.Registry.cost b.Registry.cost = 0
+  && (match (a.Registry.plan, b.Registry.plan) with
+     | Some p, Some q -> Plan.equal p q
+     | None, None -> true
+     | _ -> false)
+  && a.Registry.passes = b.Registry.passes
+  && compare a.Registry.final_threshold b.Registry.final_threshold = 0
+  && Option.equal counters_equal a.Registry.counters b.Registry.counters
+
+(* {1 The property: session reuse is bit-identical to fresh runs} *)
+
+(* Three problems per case, so within one session the arena grows and
+   shrinks across queries, and every third problem drops the graph
+   (pure Cartesian-product optimization — the no-pi_fan table path). *)
+let sequence_gen =
+  QCheck2.Gen.map
+    (fun seeds -> List.map (fun seed -> (seed, seed mod 3 = 2)) seeds)
+    (QCheck2.Gen.list_size (QCheck2.Gen.return 3) (QCheck2.Gen.int_bound 1_000_000))
+
+let problem_of_seed (seed, product) =
+  let rng = Blitz_util.Rng.create ~seed in
+  let n = 2 + Blitz_util.Rng.int rng 6 in
+  let catalog = random_catalog rng ~n ~lo:1.0 ~hi:1e4 in
+  let graph =
+    random_graph rng ~n ~edge_prob:(Blitz_util.Rng.float rng 1.0) ~sel_lo:1e-4 ~sel_hi:1.0
+  in
+  if product then Registry.problem catalog else Registry.problem ~graph catalog
+
+let fresh_outcome ~optimizer ~num_domains model p =
+  let o =
+    Registry.optimize ~optimizer (Registry.ctx ~num_domains ~counters:(Counters.create ()) model) p
+  in
+  { o with Registry.table = None }
+
+let test_session_bit_identical =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:20 ~name:"session = fresh for exact/thresholded at any width"
+       sequence_gen (fun seeds ->
+         let problems = List.map problem_of_seed seeds in
+         let model = Cost_model.kdnl in
+         List.for_all
+           (fun num_domains ->
+             List.for_all
+               (fun optimizer ->
+                 let fresh = List.map (fresh_outcome ~optimizer ~num_domains model) problems in
+                 let session_outcomes =
+                   Engine.with_session ~model ~num_domains (fun session ->
+                       Engine.optimize_many ~optimizer session (List.to_seq problems))
+                 in
+                 List.length fresh = List.length session_outcomes
+                 && List.for_all2 outcome_equal fresh session_outcomes)
+               [ "exact"; "thresholded" ])
+           domain_axis))
+
+let test_session_every_optimizer () =
+  (* One-shot parity for every registry entry on a fixed 5-relation
+     problem (small enough for the bruteforce oracle).  The session runs
+     each optimizer twice so the second run exercises a warm arena. *)
+  let catalog = random_catalog (Blitz_util.Rng.create ~seed:7) ~n:5 ~lo:1.0 ~hi:1e3 in
+  (* A chain: a tree, so the tree-only entries participate too. *)
+  let graph =
+    Join_graph.of_edges ~n:5 [ (0, 1, 0.1); (1, 2, 0.05); (2, 3, 0.2); (3, 4, 0.01) ]
+  in
+  let prob = Registry.problem ~graph catalog in
+  let model = Cost_model.kdnl in
+  let is_tree = B.Ikkbz.is_tree graph in
+  Engine.with_session ~model (fun session ->
+      List.iter
+        (fun (e : Registry.entry) ->
+          match Registry.eligible e ~n:5 ~is_tree with
+          | Error _ -> ()
+          | Ok () ->
+            let fresh = fresh_outcome ~optimizer:e.Registry.name ~num_domains:1 model prob in
+            let warm =
+              ignore (Engine.optimize ~optimizer:e.Registry.name session prob);
+              let o = Engine.optimize ~optimizer:e.Registry.name session prob in
+              { o with Registry.table = None; counters = Option.map Counters.copy o.Registry.counters }
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: warm session = fresh" e.Registry.name)
+              true (outcome_equal fresh warm))
+        (Registry.all ()))
+
+(* {1 Arena mechanics} *)
+
+let test_reset_hides_stale_entries () =
+  (* After a 6-relation query, a 4-relation acquire from the same arena
+     must present a fully reset table: no card/cost/best_lhs from the
+     larger query may leak into the smaller one's slot range. *)
+  let arena = Arena.create () in
+  let model = Cost_model.kdnl in
+  let big = random_catalog (Blitz_util.Rng.create ~seed:11) ~n:6 ~lo:1.0 ~hi:1e3 in
+  let big_graph = random_graph (Blitz_util.Rng.create ~seed:12) ~n:6 ~edge_prob:0.8 ~sel_lo:0.01 ~sel_hi:1.0 in
+  ignore (Blitzsplit.optimize_join ~arena model big big_graph);
+  let table = Arena.acquire arena 4 in
+  Alcotest.(check int) "logical n" 4 table.Dp_table.n;
+  Alcotest.(check int) "capacity kept from the larger query" 6 (Dp_table.capacity table);
+  for s = 1 to 15 do
+    Alcotest.(check (float 0.0)) (Printf.sprintf "card[%d] reset" s) 0.0 (Dp_table.card table s);
+    Alcotest.(check bool)
+      (Printf.sprintf "cost[%d] reset" s)
+      true
+      (Dp_table.cost table s = Float.infinity);
+    Alcotest.(check int) (Printf.sprintf "best_lhs[%d] reset" s) 0 (Dp_table.best_lhs table s)
+  done
+
+let test_arena_growth_accounting () =
+  let arena = Arena.create () in
+  Alcotest.(check int) "empty arena holds no bytes" 0 (Arena.resident_bytes arena);
+  let _ = Arena.acquire arena 4 in
+  let after4 = Arena.resident_bytes arena in
+  Alcotest.(check int) "resident = estimate at capacity"
+    (Dp_table.estimate_bytes ~n:4 ()) after4;
+  (* A smaller acquire must not shrink the high-water mark... *)
+  let _ = Arena.acquire arena 3 in
+  Alcotest.(check int) "high-water kept on small acquire" after4 (Arena.resident_bytes arena);
+  (* ...and bytes_after quotes the would-be footprint before growing. *)
+  Alcotest.(check int) "bytes_after quotes growth"
+    (Dp_table.estimate_bytes ~n:10 ())
+    (Arena.bytes_after arena ~n:10 ());
+  Alcotest.(check int) "bytes_after quotes current capacity for small n" after4
+    (Arena.bytes_after arena ~n:2 ());
+  let _ = Arena.acquire arena 10 in
+  Alcotest.(check int) "grown" (Dp_table.estimate_bytes ~n:10 ()) (Arena.resident_bytes arena);
+  Alcotest.(check int) "three acquires" 3 (Arena.acquires arena);
+  Alcotest.(check int) "two sizings (initial + growth)" 2 (Arena.grows arena);
+  Arena.clear arena;
+  Alcotest.(check int) "cleared" 0 (Arena.resident_bytes arena)
+
+let test_estimate_bytes_saturates () =
+  Alcotest.(check int) "n=50 saturates" max_int (Dp_table.estimate_bytes ~n:50 ());
+  Alcotest.(check int) "40 B/slot with fan" (40 * 1024) (Dp_table.estimate_bytes ~n:10 ());
+  Alcotest.(check int) "32 B/slot without fan" (32 * 1024)
+    (Dp_table.estimate_bytes ~with_pi_fan:false ~n:10 ())
+
+(* {1 Batch API} *)
+
+let test_optimize_many_matches_sequential () =
+  let model = Cost_model.kdnl in
+  let problems = List.map problem_of_seed [ (100, false); (101, true); (102, false) ] in
+  Engine.with_session ~model (fun session ->
+      let batch = Engine.optimize_many session (List.to_seq problems) in
+      let sequential =
+        (* Detach each outcome as it is captured: session outcomes alias
+           the arena's counters, which the next query resets. *)
+        List.map
+          (fun p ->
+            let o = Engine.optimize session p in
+            { o with Registry.table = None; counters = Option.map Counters.copy o.Registry.counters })
+          problems
+      in
+      Alcotest.(check int) "all completed" (List.length problems) (List.length batch);
+      List.iter2
+        (fun b s ->
+          Alcotest.(check bool) "batch outcome = sequential outcome" true (outcome_equal b s))
+        batch sequential;
+      List.iter
+        (fun (o : Registry.outcome) ->
+          Alcotest.(check bool) "batch outcomes are detached" true (o.Registry.table = None))
+        batch)
+
+let test_optimize_many_interrupt_prefix () =
+  let model = Cost_model.kdnl in
+  let p1 = problem_of_seed (200, false) in
+  let p2 = problem_of_seed (201, false) in
+  (* The interrupt is probed every 64 subsets, so the aborted query
+     needs a large enough n for the probe to fire at all. *)
+  let p3 =
+    let rng = Blitz_util.Rng.create ~seed:202 in
+    let catalog = random_catalog rng ~n:10 ~lo:1.0 ~hi:1e4 in
+    let graph = random_graph rng ~n:10 ~edge_prob:0.5 ~sel_lo:1e-4 ~sel_hi:1.0 in
+    Registry.problem ~graph catalog
+  in
+  let fire = ref false in
+  (* The flag flips when the batch sequence yields the third problem, so
+     the interrupt (probed inside the DP) aborts query 3 mid-run. *)
+  let problems () =
+    Seq.Cons
+      ( p1,
+        fun () ->
+          Seq.Cons
+            ( p2,
+              fun () ->
+                fire := true;
+                Seq.Cons (p3, Seq.empty) ) )
+  in
+  Engine.with_session ~model (fun session ->
+      let batch = Engine.optimize_many ~interrupt:(fun () -> !fire) session problems in
+      Alcotest.(check int) "completed prefix returned" 2 (List.length batch);
+      let fresh1 = fresh_outcome ~optimizer:"exact" ~num_domains:1 model p1 in
+      Alcotest.(check bool) "prefix in order and intact" true
+        (outcome_equal fresh1 (List.hd batch)))
+
+let test_session_close () =
+  let session = Engine.create () in
+  let p = problem_of_seed (300, false) in
+  ignore (Engine.optimize session p);
+  Engine.close session;
+  Alcotest.check_raises "closed session rejects queries"
+    (Invalid_argument "Engine.optimize: session is closed") (fun () ->
+      ignore (Engine.optimize session p))
+
+(* {1 Registry metadata} *)
+
+let test_registry_metadata () =
+  let names = Registry.names () in
+  Alcotest.(check bool) "names unique" true
+    (List.length names = List.length (List.sort_uniq compare names));
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true (Option.is_some (Registry.find name)))
+    [ "exact"; "thresholded"; "hybrid"; "ikkbz"; "greedy"; "bruteforce" ];
+  let caps name = (Registry.find_exn name).Registry.caps in
+  Alcotest.(check bool) "greedy is deadline-exempt" true (caps "greedy").Registry.deadline_exempt;
+  Alcotest.(check bool) "ikkbz is tree-only" true (caps "ikkbz").Registry.tree_only;
+  Alcotest.(check bool) "exact is exact" true (caps "exact").Registry.exact;
+  Alcotest.(check (option int))
+    "bruteforce capped at its oracle limit"
+    (Some B.Bruteforce.max_relations)
+    (caps "bruteforce").Registry.max_n;
+  (match (caps "exact").Registry.table_bytes with
+  | Some f -> Alcotest.(check int) "exact table estimate" (Dp_table.estimate_bytes ~n:12 ()) (f ~n:12)
+  | None -> Alcotest.fail "exact must advertise a table footprint");
+  Alcotest.(check bool) "eligible rejects oversized n" true
+    (Result.is_error
+       (Registry.eligible (Registry.find_exn "exact") ~n:(Dp_table.max_relations + 1) ~is_tree:false));
+  Alcotest.(check bool) "eligible rejects non-tree for ikkbz" true
+    (Result.is_error (Registry.eligible (Registry.find_exn "ikkbz") ~n:5 ~is_tree:false));
+  (match Registry.find "no-such-optimizer" with
+  | Some _ -> Alcotest.fail "found a ghost"
+  | None -> ());
+  Alcotest.(check bool) "find_exn raises on unknown" true
+    (try
+       ignore (Registry.find_exn "no-such-optimizer");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "register rejects duplicates" true
+    (try
+       Registry.register (Registry.find_exn "exact");
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "every optimizer: warm session = fresh" `Quick test_session_every_optimizer;
+    Alcotest.test_case "reset_in_place hides stale entries" `Quick test_reset_hides_stale_entries;
+    Alcotest.test_case "arena growth accounting" `Quick test_arena_growth_accounting;
+    Alcotest.test_case "estimate_bytes" `Quick test_estimate_bytes_saturates;
+    Alcotest.test_case "optimize_many = sequential optimizes" `Quick
+      test_optimize_many_matches_sequential;
+    Alcotest.test_case "optimize_many returns interrupt prefix" `Quick
+      test_optimize_many_interrupt_prefix;
+    Alcotest.test_case "closed session rejects queries" `Quick test_session_close;
+    Alcotest.test_case "registry metadata" `Quick test_registry_metadata;
+    test_session_bit_identical;
+  ]
