@@ -31,6 +31,7 @@ module Degrade = Blitz_guard.Degrade
 module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
 module Registry = Blitz_engine.Registry
 module Engine = Blitz_engine.Engine
+module Obs = Blitz_obs.Obs
 
 (* ---- shared converters ---- *)
 
@@ -130,6 +131,53 @@ let problem_term =
   Term.(
     ret (const combine $ sql_arg $ n_arg $ topology_arg $ mean_card_arg $ variability_arg))
 
+(* ---- observability surface (shared by optimize and explain) ---- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable the metrics registry for this run and dump it afterwards: bare --metrics \
+           prints the Prometheus text exposition to standard output; --metrics=FILE writes it \
+           to FILE (JSON instead of Prometheus text when FILE ends in .json).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable structured tracing for this run and write the spans to FILE as a Chrome-trace \
+           JSON array (load it in chrome://tracing or ui.perfetto.dev).")
+
+(* Arm the switches before the run; everything the optimizer records
+   between the two calls is what gets exported. *)
+let obs_arm ~metrics ~trace =
+  if metrics <> None then Obs.Metrics.set_enabled true;
+  if trace <> None then Obs.Trace.set_enabled true
+
+let obs_report ~metrics ~trace =
+  (match trace with
+  | None -> ()
+  | Some path ->
+    Obs.Trace.write_chrome path;
+    Printf.printf "trace:      wrote %s (%d span(s))\n" path (List.length (Obs.Trace.events ())));
+  match metrics with
+  | None -> ()
+  | Some "-" ->
+    print_newline ();
+    print_string (Obs.Metrics.to_prometheus ())
+  | Some path ->
+    let contents =
+      if Filename.check_suffix path ".json" then
+        Blitz_util.Json.to_string ~indent:true (Obs.Metrics.to_json ()) ^ "\n"
+      else Obs.Metrics.to_prometheus ()
+    in
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents);
+    Printf.printf "metrics:    wrote %s\n" path
+
 (* ---- optimize ---- *)
 
 let optimize_cmd =
@@ -212,7 +260,8 @@ let optimize_cmd =
           ~doc:"Optimize with interesting sort orders (Section 6.5 extension): print a                 physical plan with sorts, merge joins and nested loops.  Honors the                 query's ORDER BY.")
   in
   let run problem model threshold growth dump_table annotate execute seed physical hybrid degrade
-      deadline_ms max_table_mb num_domains =
+      deadline_ms max_table_mb num_domains metrics trace =
+    obs_arm ~metrics ~trace;
     let names = Catalog.names problem.catalog in
     let num_domains =
       if num_domains = 0 then Parallel_blitzsplit.recommended_domains ()
@@ -224,7 +273,7 @@ let optimize_cmd =
     in
     (* Any budget flag implies the resilient driver: a deadline or memory
        ceiling is only enforceable when degradation is allowed. *)
-    if degrade || deadline_ms <> None || max_table_mb <> None then begin
+    (if degrade || deadline_ms <> None || max_table_mb <> None then begin
       let budget =
         match
           Budget.create ?deadline_ms
@@ -356,13 +405,14 @@ let optimize_cmd =
               (if estimated > 0.0 then actual /. estimated else Float.nan))
           comparisons
     end
-    end
+    end);
+    obs_report ~metrics ~trace
   in
   let term =
     Term.(
       const run $ problem_term $ model_arg $ threshold_arg $ growth_arg $ dump_table_arg
       $ annotate_arg $ execute_arg $ seed_arg $ physical_arg $ hybrid_arg $ degrade_arg
-      $ deadline_ms_arg $ max_table_mb_arg $ num_domains_arg)
+      $ deadline_ms_arg $ max_table_mb_arg $ num_domains_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a join query with the blitzsplit algorithm")
@@ -449,6 +499,139 @@ let workload_cmd =
              'blitz optimize --sql')")
     Term.(ret (const run $ n_req $ topology_arg $ mean_card_arg $ variability_arg))
 
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let optimizer_arg =
+    Arg.(
+      value
+      & opt string "exact"
+      & info [ "o"; "optimizer" ] ~docv:"NAME"
+          ~doc:"Registry entry to explain with (default exact; 'blitz compare' lists them).")
+  in
+  let num_domains_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "num-domains" ] ~docv:"N" ~doc:"Run DP-backed optimizers rank-parallel on N domains.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"COST"
+          ~doc:"Initial plan-cost threshold for the thresholded optimizer.")
+  in
+  let run problem model optimizer num_domains threshold metrics trace =
+    (* Explain always records: the whole point is showing what the run
+       did.  The process is this one query, so the metrics ARE the run's
+       deltas. *)
+    Obs.Metrics.set_enabled true;
+    obs_arm ~metrics ~trace;
+    let names = Catalog.names problem.catalog in
+    let entry =
+      match Registry.find optimizer with
+      | Some e -> e
+      | None ->
+        Printf.eprintf "blitz: unknown optimizer %S (known: %s)\n" optimizer
+          (String.concat ", " (Registry.names ()));
+        exit 1
+    in
+    let n = Catalog.n problem.catalog in
+    (match Registry.eligible entry ~n ~is_tree:(B.Ikkbz.is_tree problem.graph) with
+    | Ok () -> ()
+    | Error reason ->
+      Printf.eprintf "blitz: %s is not eligible here: %s\n" optimizer reason;
+      exit 1);
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      Engine.with_session ~model ~num_domains (fun session ->
+          let o =
+            Engine.optimize ~optimizer ?threshold session
+              (Registry.problem ~graph:problem.graph problem.catalog)
+          in
+          { o with Registry.table = None; counters = Option.map Counters.copy o.Registry.counters })
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let plan =
+      match outcome.Registry.plan with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "blitz: %s produced no plan\n" optimizer;
+        exit 1
+    in
+    Printf.printf "query:      %s\n" problem.label;
+    Printf.printf "model:      %s\n" model.Cost_model.name;
+    Printf.printf "optimizer:  %s%s\n" optimizer
+      (if entry.Registry.caps.Registry.exact then " (exact)" else " (heuristic)");
+    if num_domains > 1 then Printf.printf "domains:    %d (rank-parallel DP)\n" num_domains;
+    Printf.printf "plan:       %s\n" (Plan.to_compact_string ~names plan);
+    Printf.printf "cost:       %g\n" outcome.Registry.cost;
+    if outcome.Registry.passes > 1 || Float.is_finite outcome.Registry.final_threshold then
+      Printf.printf "passes:     %d (final threshold %g)\n" outcome.Registry.passes
+        outcome.Registry.final_threshold;
+    (match outcome.Registry.note with
+    | Some note -> Printf.printf "note:       %s\n" note
+    | None -> ());
+    Printf.printf "time:       %.4fs\n" elapsed;
+    (* The plan tree with the DP table's view of every node: the
+       relation subset, its estimated cardinality, and the cumulative
+       cost of the subtree rooted there. *)
+    Printf.printf "\nplan tree (per-subset cardinality / cumulative cost):\n";
+    let cartesian_here p l r =
+      Plan.cartesian_join_count problem.graph p
+      - Plan.cartesian_join_count problem.graph l
+      - Plan.cartesian_join_count problem.graph r
+      > 0
+    in
+    let rec render indent p =
+      match p with
+      | Plan.Leaf i ->
+        Printf.printf "%sscan %s  card=%g\n" indent names.(i) (Catalog.card problem.catalog i)
+      | Plan.Join (l, r) ->
+        Printf.printf "%sjoin %s%s  card=%g  cost=%g\n" indent
+          (Blitz_bitset.Relset.to_string ~names (Plan.relations p))
+          (if cartesian_here p l r then " (cartesian)" else "")
+          (Plan.cardinality problem.catalog problem.graph p)
+          (Plan.cost model problem.catalog problem.graph p);
+        render (indent ^ "  ") l;
+        render (indent ^ "  ") r
+    in
+    render "  " plan;
+    (match outcome.Registry.counters with
+    | Some c when c.Counters.loop_iters > 0 ->
+      Printf.printf "\nsplit-loop counters (this run):\n";
+      Format.printf "  @[<v>%a@]@." Counters.pp c
+    | Some _ | None -> ());
+    (* The run's metric deltas: counters and gauges are deterministic
+       for a given query (latency histograms are not — they go to
+       --metrics/--trace files, not here). *)
+    Printf.printf "\nmetrics (this run):\n";
+    List.iter
+      (function
+        | Obs.Metrics.Counter { name; labels; value; _ } when value > 0 ->
+          Printf.printf "  %s%s %d\n" name
+            (match labels with
+            | [] -> ""
+            | l -> "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l) ^ "}")
+            value
+        | Obs.Metrics.Gauge { name; value; _ } when value <> 0.0 ->
+          Printf.printf "  %s %g\n" name value
+        | _ -> ())
+      (Obs.Metrics.snapshot ());
+    obs_report ~metrics ~trace
+  in
+  let term =
+    Term.(
+      const run $ problem_term $ model_arg $ optimizer_arg $ num_domains_arg $ threshold_arg
+      $ metrics_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Optimize a query and print the chosen plan tree with per-subset cardinality and \
+             cost, the split-loop counters, and the run's metric deltas")
+    term
+
 (* ---- counters ---- *)
 
 let counters_cmd =
@@ -474,6 +657,6 @@ let counters_cmd =
 let main_cmd =
   let doc = "bushy join-order optimization with Cartesian products (Vance & Maier, SIGMOD 1996)" in
   Cmd.group (Cmd.info "blitz" ~version:"1.0.0" ~doc)
-    [ optimize_cmd; compare_cmd; workload_cmd; counters_cmd ]
+    [ optimize_cmd; explain_cmd; compare_cmd; workload_cmd; counters_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

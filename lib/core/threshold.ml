@@ -1,8 +1,21 @@
 module Catalog = Blitz_catalog.Catalog
 module Join_graph = Blitz_graph.Join_graph
 module Cost_model = Blitz_cost.Cost_model
+module Obs = Blitz_obs.Obs
 
 type outcome = { result : Blitzsplit.t; passes : int; final_threshold : float }
+
+let m_passes =
+  Obs.Metrics.counter ~help:"Thresholded optimization passes run (Section 6.4)"
+    "blitz_threshold_passes_total"
+
+let m_rescues =
+  Obs.Metrics.counter ~help:"Forced unthresholded rescue passes after every attempt failed"
+    "blitz_threshold_rescue_passes_total"
+
+let m_skips =
+  Obs.Metrics.counter ~help:"Subsets skipped by the plan-cost threshold filter"
+    "blitz_threshold_skipped_subsets_total"
 
 (* One driver serves every optimizer variant; only the feasibility probe
    differs.  [passes] counts optimization passes actually run — each
@@ -17,11 +30,22 @@ let drive_generic ?(growth = 1e4) ?(max_passes = 16) ~threshold ~feasible run =
   let rec go passes_run threshold =
     if passes_run >= max_passes || not (Float.is_finite threshold) then begin
       (* Rescue pass: unthresholded, cannot fail. *)
-      let result = run ~threshold:Float.infinity in
+      Obs.Metrics.incr m_passes;
+      Obs.Metrics.incr m_rescues;
+      let result = Obs.span "threshold.rescue" (fun () -> run ~threshold:Float.infinity) in
       (result, passes_run + 1, Float.infinity)
     end
     else begin
-      let result = run ~threshold in
+      Obs.Metrics.incr m_passes;
+      let result =
+        Obs.span "threshold.pass"
+          ~attrs:
+            [
+              ("pass", string_of_int (passes_run + 1));
+              ("threshold", Printf.sprintf "%g" threshold);
+            ]
+          (fun () -> run ~threshold)
+      in
       if feasible result then (result, passes_run + 1, threshold)
       else go (passes_run + 1) (threshold *. growth)
     end
@@ -30,10 +54,14 @@ let drive_generic ?(growth = 1e4) ?(max_passes = 16) ~threshold ~feasible run =
 
 let drive ?counters ?growth ?max_passes ~threshold run =
   let counters = match counters with Some c -> c | None -> Counters.create () in
+  let skips_before = counters.Counters.threshold_skips in
   let result, passes, final_threshold =
     drive_generic ?growth ?max_passes ~threshold ~feasible:Blitzsplit.feasible
       (fun ~threshold -> run ~counters ~threshold)
   in
+  (* The paper's own §6.4 statistic: how many subsets the threshold
+     filter let the driver skip, summed over every pass of this call. *)
+  Obs.Metrics.add m_skips (max 0 (counters.Counters.threshold_skips - skips_before));
   { result; passes; final_threshold }
 
 (* Re-optimization passes reuse one table through an arena: without one a

@@ -5,6 +5,31 @@ module Arena = Blitz_core.Arena
 module Counters = Blitz_core.Counters
 module Blitzsplit = Blitz_core.Blitzsplit
 module Pool = Blitz_parallel.Pool
+module Obs = Blitz_obs.Obs
+
+let m_latency =
+  Obs.Metrics.histogram ~help:"Engine.optimize wall-clock seconds per query"
+    "blitz_engine_optimize_seconds"
+
+let m_plan_cost =
+  Obs.Metrics.histogram ~help:"Cost of the chosen plan under the session model"
+    "blitz_engine_plan_cost"
+
+let m_queries =
+  Obs.Metrics.counter ~help:"Queries optimized through engine sessions"
+    "blitz_engine_queries_total"
+
+let g_arena_resident =
+  Obs.Metrics.gauge ~help:"Resident DP-table bytes of the most recently used session arena"
+    "blitz_arena_resident_bytes"
+
+let g_arena_acquires =
+  Obs.Metrics.gauge ~help:"Table acquisitions by the most recently used session arena"
+    "blitz_arena_acquires"
+
+let g_arena_grows =
+  Obs.Metrics.gauge ~help:"Buffer growths (vs pooled reuses) of the most recently used arena"
+    "blitz_arena_grows"
 
 type t = {
   model : Cost_model.t;
@@ -53,11 +78,28 @@ let ctx ?interrupt ?threshold ?growth ?max_passes ?counters t =
 
 let counters t = Arena.counters t.arena
 
+(* Post-query bookkeeping; [Metrics.enabled] gates the gauge reads so a
+   disabled process pays one branch, not four [Arena] calls. *)
+let record_outcome t (o : Registry.outcome) =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_queries;
+    if Float.is_finite o.Registry.cost then Obs.Metrics.observe m_plan_cost o.Registry.cost;
+    Obs.Metrics.set g_arena_resident (float_of_int (Arena.resident_bytes t.arena));
+    Obs.Metrics.set g_arena_acquires (float_of_int (Arena.acquires t.arena));
+    Obs.Metrics.set g_arena_grows (float_of_int (Arena.grows t.arena))
+  end
+
 let optimize ?(optimizer = "exact") ?interrupt ?threshold t problem =
   if t.closed then invalid_arg "Engine.optimize: session is closed";
   let ctr = Arena.counters t.arena in
   Counters.reset ctr;
-  Registry.optimize ~optimizer (ctx ?interrupt ?threshold ~counters:ctr t) problem
+  let o =
+    Obs.span "engine.optimize" ~attrs:[ ("optimizer", optimizer) ] (fun () ->
+        Obs.Metrics.time m_latency (fun () ->
+            Registry.optimize ~optimizer (ctx ?interrupt ?threshold ~counters:ctr t) problem))
+  in
+  record_outcome t o;
+  o
 
 let optimize_many ?(optimizer = "exact") ?interrupt t problems =
   if t.closed then invalid_arg "Engine.optimize_many: session is closed";
@@ -67,17 +109,23 @@ let optimize_many ?(optimizer = "exact") ?interrupt t problems =
   let ctr = Arena.counters t.arena in
   let c = ctx ?interrupt ~counters:ctr t in
   let completed = ref [] in
-  (try
-     Seq.iter
-       (fun p ->
-         Counters.reset ctr;
-         let o = entry.Registry.optimize c p in
-         (* The table is a view of the arena's buffer, overwritten by the
-            next query; the counters record is reused and reset.  Detach
-            both so every element of the batch result stands on its own. *)
-         completed :=
-           { o with Registry.table = None; counters = Option.map Counters.copy o.Registry.counters }
-           :: !completed)
-       problems
-   with Blitzsplit.Interrupted -> ());
+  Obs.span "engine.optimize_many" ~attrs:[ ("optimizer", optimizer) ] (fun () ->
+      try
+        Seq.iter
+          (fun p ->
+            Counters.reset ctr;
+            let o = Obs.Metrics.time m_latency (fun () -> entry.Registry.optimize c p) in
+            record_outcome t o;
+            (* The table is a view of the arena's buffer, overwritten by the
+               next query; the counters record is reused and reset.  Detach
+               both so every element of the batch result stands on its own. *)
+            completed :=
+              {
+                o with
+                Registry.table = None;
+                counters = Option.map Counters.copy o.Registry.counters;
+              }
+              :: !completed)
+          problems
+      with Blitzsplit.Interrupted -> ());
   List.rev !completed

@@ -10,6 +10,12 @@
     fresh-allocation runs for every optimizer and domain count (tested
     property).
 
+    When [Blitz_obs.Metrics] is enabled, sessions publish per-query
+    latency and plan-cost histograms ([blitz_engine_optimize_seconds],
+    [blitz_engine_plan_cost]), a query counter, and gauges tracking the
+    arena's resident bytes / acquires / grows; disabled, the
+    instrumentation is a single atomic branch per query.
+
     Sessions are single-threaded: one optimize call at a time. *)
 
 module Catalog = Blitz_catalog.Catalog

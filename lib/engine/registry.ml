@@ -12,6 +12,7 @@ module Pool = Blitz_parallel.Pool
 module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
 module Hybrid = Blitz_hybrid.Hybrid
 module B = Blitz_baselines
+module Obs = Blitz_obs.Obs
 
 type problem = { catalog : Catalog.t; graph : Join_graph.t option }
 
@@ -249,10 +250,36 @@ let run_bruteforce ctx p =
    linking the library is enough to see them. *)
 let entries : entry list ref = ref []
 
+(* Every dispatch — by name through [optimize], or directly through a
+   held [entry] (the cascade, [Engine.optimize_many]) — is metered,
+   because the meter is baked into the entry at registration.  The
+   wrapper changes no computation: same ctx, same problem, same result
+   or exception. *)
+let instrument e =
+  let calls =
+    Obs.Metrics.counter ~help:"Optimizer dispatches through the registry"
+      ~labels:[ ("optimizer", e.name) ]
+      "blitz_registry_calls_total"
+  in
+  let errors =
+    Obs.Metrics.counter ~help:"Registry dispatches that raised"
+      ~labels:[ ("optimizer", e.name) ]
+      "blitz_registry_errors_total"
+  in
+  let optimize ctx p =
+    Obs.Metrics.incr calls;
+    Obs.span "registry.optimize" ~attrs:[ ("optimizer", e.name) ] (fun () ->
+        try e.optimize ctx p
+        with exn ->
+          Obs.Metrics.incr errors;
+          raise exn)
+  in
+  { e with optimize }
+
 let register e =
   if List.exists (fun e' -> e'.name = e.name) !entries then
     invalid_arg (Printf.sprintf "Registry.register: duplicate optimizer %S" e.name);
-  entries := !entries @ [ e ]
+  entries := !entries @ [ instrument e ]
 
 let () =
   List.iter register

@@ -8,7 +8,13 @@
     capability metadata.  Callers (the degradation cascade, the CLI,
     the bench harness, {!Engine}) dispatch by name and read eligibility
     off the metadata instead of hand-wiring per-algorithm match arms
-    and duplicating [Dp_table.max_relations] / table-size logic. *)
+    and duplicating [Dp_table.max_relations] / table-size logic.
+
+    Registration instruments each entry: every dispatch — by name or
+    through a held {!entry} — bumps [blitz_registry_calls_total] (and
+    [blitz_registry_errors_total] on raise) labelled with the optimizer
+    name, and runs inside a [registry.optimize] trace span, so the
+    cascade's and the engine's direct calls are metered too. *)
 
 module Catalog = Blitz_catalog.Catalog
 module Join_graph = Blitz_graph.Join_graph

@@ -1,3 +1,13 @@
+module Obs = Blitz_obs.Obs
+
+let m_probes =
+  Obs.Metrics.counter ~help:"Deadline probes polled by optimizers under a budget"
+    "blitz_budget_probes_total"
+
+let m_expirations =
+  Obs.Metrics.counter ~help:"Budget deadlines that expired (latched once per arming)"
+    "blitz_budget_expirations_total"
+
 type t = {
   deadline_ms : float option;
   max_table_bytes : int option;
@@ -46,12 +56,19 @@ let expired t =
     Atomic.get t.tripped
     ||
     if remaining_ms t <= 0.0 then begin
-      Atomic.set t.tripped true;
+      (* CAS so the expiry is counted (and traced) exactly once per
+         arming even when several worker domains observe it together. *)
+      if Atomic.compare_and_set t.tripped false true then begin
+        Obs.Metrics.incr m_expirations;
+        Obs.instant "budget.expired"
+      end;
       true
     end
     else false
 
-let interrupt t () = expired t
+let interrupt t () =
+  Obs.Metrics.incr m_probes;
+  expired t
 
 (* The DP table is a struct of flat arrays of 2^n 8-byte slots — card,
    cost, best_lhs and aux always, plus pi_fan on the join path (the

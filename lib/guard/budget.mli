@@ -8,7 +8,13 @@
     a table-free algorithm instead of exhausting the heap.  A budget is
     armed (its clock started) at {!create} and re-armed with {!start};
     the guard driver re-arms once on entry so every tier draws from the
-    same allowance. *)
+    same allowance.
+
+    Probes and expirations are published to [Blitz_obs.Metrics]
+    ([blitz_budget_probes_total], [blitz_budget_expirations_total]);
+    the expiry latch flips via one compare-and-set, so an expiration is
+    counted exactly once per arming no matter how many domains race the
+    deadline. *)
 
 type t
 

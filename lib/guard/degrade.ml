@@ -7,6 +7,7 @@ module Arena = Blitz_core.Arena
 module Pool = Blitz_parallel.Pool
 module Registry = Blitz_engine.Registry
 module B = Blitz_baselines
+module Obs = Blitz_obs.Obs
 
 type tier = Exact | Thresholded | Hybrid_windows | Ikkbz | Greedy
 
@@ -132,6 +133,28 @@ let run_tier ?(num_domains = 1) ?arena ?pool ~budget ~seed tier model catalog gr
   | o -> finish (o.Registry.plan, o.Registry.cost)
   | exception Blitzsplit.Interrupted -> Error Deadline
 
+(* Cascade decisions, labelled by tier and what happened — the
+   provenance trail as time series.  Counter lookup per attempt (a
+   registry mutex) is noise next to the optimization the attempt ran. *)
+let attempt_counter tier status =
+  Obs.Metrics.counter ~help:"Degradation-cascade steps by tier and outcome"
+    ~labels:[ ("tier", tier_name tier); ("status", status) ]
+    "blitz_degrade_attempts_total"
+
+let record_attempt tier status detail =
+  if Obs.enabled () then begin
+    Obs.Metrics.incr (attempt_counter tier status);
+    Obs.instant "degrade.attempt"
+      ~attrs:[ ("tier", tier_name tier); ("status", status); ("detail", detail) ]
+  end
+
+let record_win tier =
+  if Obs.enabled () then
+    Obs.Metrics.incr
+      (Obs.Metrics.counter ~help:"Queries whose winning plan came from this tier"
+         ~labels:[ ("tier", tier_name tier) ]
+         "blitz_degrade_wins_total")
+
 let optimize ?(cascade = default_cascade) ?(seed = 1) ?num_domains ?arena ?pool ~budget model
     catalog graph =
   let t_start = Budget.elapsed_ms budget in
@@ -140,11 +163,17 @@ let optimize ?(cascade = default_cascade) ?(seed = 1) ?num_domains ?arena ?pool 
     | tier :: rest -> (
       match eligibility ?arena ~budget tier catalog graph with
       | Some reason ->
+        record_attempt tier "skipped" (skip_message reason);
         go ({ tier; status = Skipped reason; elapsed_ms = 0.0 } :: attempts) rest
       | None -> (
         let t0 = Budget.elapsed_ms budget in
-        match run_tier ?num_domains ?arena ?pool ~budget ~seed tier model catalog graph with
+        match
+          Obs.span ("degrade." ^ tier_name tier) (fun () ->
+              run_tier ?num_domains ?arena ?pool ~budget ~seed tier model catalog graph)
+        with
         | Ok (plan, cost) ->
+          record_attempt tier "produced" (Printf.sprintf "cost %g" cost);
+          record_win tier;
           let elapsed_ms = Budget.elapsed_ms budget -. t0 in
           let attempts = List.rev ({ tier; status = Produced cost; elapsed_ms } :: attempts) in
           Ok
@@ -156,6 +185,7 @@ let optimize ?(cascade = default_cascade) ?(seed = 1) ?num_domains ?arena ?pool 
                 total_ms = Budget.elapsed_ms budget -. t_start;
               } )
         | Error failure ->
+          record_attempt tier "aborted" (failure_message failure);
           let elapsed_ms = Budget.elapsed_ms budget -. t0 in
           go ({ tier; status = Aborted failure; elapsed_ms } :: attempts) rest))
   in

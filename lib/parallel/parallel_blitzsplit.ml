@@ -8,6 +8,11 @@ module Split_loop = Blitz_core.Split_loop
 module Counters = Blitz_core.Counters
 module Threshold = Blitz_core.Threshold
 module Arena = Blitz_core.Arena
+module Obs = Blitz_obs.Obs
+
+let m_ranks =
+  Obs.Metrics.counter ~help:"Lattice ranks processed by the rank-parallel optimizer"
+    "blitz_parallel_ranks_total"
 
 let recommended_domains () = Domain.recommended_domain_count ()
 
@@ -111,6 +116,8 @@ let parallel_run pool ~graph_opt ~arena ~ctr ~threshold ~interrupt model catalog
        let count = binom.(n).(k) in
        let chunks = min count (workers * chunk_factor) in
        let base = count / chunks and rem = count mod chunks in
+       Obs.Metrics.incr m_ranks;
+       Obs.span "parallel.rank" ~attrs:[ ("k", string_of_int k) ] @@ fun () ->
        Pool.run pool ~chunks (fun ~worker c ->
            if not (Atomic.get stop_flag) then begin
              let start = (c * base) + min c rem in

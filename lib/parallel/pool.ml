@@ -14,6 +14,20 @@
    still reaches the barrier, and [run] re-raises it on the caller's
    domain once the pool is quiescent. *)
 
+module Obs = Blitz_obs.Obs
+
+let m_jobs =
+  Obs.Metrics.counter ~help:"Fork-join jobs executed by the domain pool" "blitz_pool_jobs_total"
+
+let m_chunks =
+  Obs.Metrics.counter ~help:"Work chunks claimed across all pool workers"
+    "blitz_pool_chunks_claimed_total"
+
+let m_barrier_wait =
+  Obs.Metrics.histogram
+    ~help:"Seconds the caller waited at the completion barrier after finishing its own chunks"
+    "blitz_pool_barrier_wait_seconds"
+
 type t = {
   num_domains : int;
   mutex : Mutex.t;
@@ -39,6 +53,7 @@ let drain t job count =
     if t.poisoned = None then begin
       let c = Atomic.fetch_and_add t.next_chunk 1 in
       if c < count then begin
+        Obs.Metrics.incr m_chunks;
         (match job c with
         | () -> ()
         | exception exn ->
@@ -99,6 +114,7 @@ let create ~num_domains =
 let run t ~chunks job =
   if chunks < 0 then invalid_arg "Pool.run: negative chunk count";
   if t.shutdown then invalid_arg "Pool.run: pool is shut down";
+  Obs.Metrics.incr m_jobs;
   Mutex.lock t.mutex;
   t.job <- job;
   t.chunk_count <- chunks;
@@ -109,10 +125,14 @@ let run t ~chunks job =
   Condition.broadcast t.work_ready;
   Mutex.unlock t.mutex;
   drain t (job ~worker:0) chunks;
-  Mutex.lock t.mutex;
-  while t.idle < t.num_domains - 1 do
-    Condition.wait t.work_done t.mutex
-  done;
+  (* The caller's wait here is the job's load-imbalance signal: a long
+     wait means the spawned workers still held unclaimed or oversized
+     chunks after worker 0 ran dry. *)
+  Obs.Metrics.time m_barrier_wait (fun () ->
+      Mutex.lock t.mutex;
+      while t.idle < t.num_domains - 1 do
+        Condition.wait t.work_done t.mutex
+      done);
   let failure = t.poisoned in
   t.poisoned <- None;
   Mutex.unlock t.mutex;

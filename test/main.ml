@@ -27,4 +27,5 @@ let () =
       ("exec", Test_exec.suite);
       ("stats", Test_stats.suite);
       ("sql", Test_sql.suite);
+      ("obs", Test_obs.suite);
     ]
