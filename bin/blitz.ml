@@ -31,6 +31,7 @@ module Degrade = Blitz_guard.Degrade
 module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
 module Registry = Blitz_engine.Registry
 module Engine = Blitz_engine.Engine
+module Plan_cache = Blitz_cache.Plan_cache
 module Obs = Blitz_obs.Obs
 
 (* ---- shared converters ---- *)
@@ -178,6 +179,60 @@ let obs_report ~metrics ~trace =
     Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents);
     Printf.printf "metrics:    wrote %s\n" path
 
+(* ---- plan-cache surface (shared by optimize and explain) ---- *)
+
+let cache_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Enable the canonicalized plan cache for this run: structurally identical queries \
+           (up to relation renaming) are answered from the cache instead of re-running the \
+           DP.  Combine with --repeat to see hits within one invocation.")
+
+let cache_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:"Plan-cache memory budget in mebibytes (default 64; implies --cache).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the plan cache (overrides --cache and --cache-mb).")
+
+let cache_term =
+  let combine cache cache_mb no_cache =
+    if no_cache then `Ok None
+    else if not (cache || cache_mb <> None) then `Ok None
+    else
+      match
+        Plan_cache.create ?max_bytes:(Option.map (fun mb -> mb * 1024 * 1024) cache_mb) ()
+      with
+      | c -> `Ok (Some c)
+      | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  Term.(ret (const combine $ cache_arg $ cache_mb_arg $ no_cache_arg))
+
+let repeat_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "repeat" ] ~docv:"K"
+        ~doc:
+          "Optimize the query K times through one session (with --cache, every run after the \
+           first is a cache hit).")
+
+let print_cache_line cache =
+  match cache with
+  | None -> ()
+  | Some c ->
+    let s = Plan_cache.stats c in
+    Printf.printf "cache:      %d hit(s) (%d rebased), %d miss(es), %d insertion(s), %d shape seed(s)\n"
+      s.Plan_cache.hits s.Plan_cache.rebases s.Plan_cache.misses s.Plan_cache.insertions
+      s.Plan_cache.shape_hits
+
 (* ---- optimize ---- *)
 
 let optimize_cmd =
@@ -260,7 +315,7 @@ let optimize_cmd =
           ~doc:"Optimize with interesting sort orders (Section 6.5 extension): print a                 physical plan with sorts, merge joins and nested loops.  Honors the                 query's ORDER BY.")
   in
   let run problem model threshold growth dump_table annotate execute seed physical hybrid degrade
-      deadline_ms max_table_mb num_domains metrics trace =
+      deadline_ms max_table_mb num_domains cache repeat metrics trace =
     obs_arm ~metrics ~trace;
     let names = Catalog.names problem.catalog in
     let num_domains =
@@ -271,6 +326,10 @@ let optimize_cmd =
       end
       else num_domains
     in
+    if repeat < 1 then begin
+      Printf.eprintf "blitz: --repeat %d must be at least 1\n" repeat;
+      exit 1
+    end;
     (* Any budget flag implies the resilient driver: a deadline or memory
        ceiling is only enforceable when degradation is allowed. *)
     (if degrade || deadline_ms <> None || max_table_mb <> None then begin
@@ -285,7 +344,26 @@ let optimize_cmd =
           Printf.eprintf "blitz: %s\n" msg;
           exit 1
       in
-      match Guard.optimize ~budget ~seed ~num_domains model problem.catalog problem.graph with
+      (* A cache-carrying session lets the guarded driver answer repeats
+         from the cache; without --cache the driver runs exactly as
+         before (no session). *)
+      let guarded () =
+        match cache with
+        | None -> Guard.optimize ~budget ~seed ~num_domains model problem.catalog problem.graph
+        | Some c ->
+          Engine.with_session ~model ~num_domains ~cache:c (fun session ->
+              let rec go k last =
+                if k = 0 then last
+                else
+                  go (k - 1)
+                    (Guard.optimize ~budget ~session ~seed ~num_domains model problem.catalog
+                       problem.graph)
+              in
+              go (repeat - 1)
+                (Guard.optimize ~budget ~session ~seed ~num_domains model problem.catalog
+                   problem.graph))
+      in
+      match guarded () with
       | Error e ->
         Printf.eprintf "blitz: %s\n" (Guard.error_message e);
         exit 1
@@ -296,12 +374,15 @@ let optimize_cmd =
         Printf.printf "plan:       %s\n" (Plan.to_compact_string ~names o.Guard.plan);
         Printf.printf "cost:       %g%s\n" o.Guard.cost
           (if p.Degrade.winner = Degrade.Exact then "" else " (not guaranteed optimal)");
-        Printf.printf "tier:       %s\n" (Degrade.tier_name p.Degrade.winner);
+        Printf.printf "tier:       %s%s\n"
+          (Degrade.tier_name p.Degrade.winner)
+          (if o.Guard.from_cache then " (plan served from session cache)" else "");
         Printf.printf "time:       %.4fs\n" (p.Degrade.total_ms /. 1000.0);
         Printf.printf "provenance:\n";
         List.iter
           (fun a -> Format.printf "  %a@." Degrade.pp_attempt a)
-          p.Degrade.attempts
+          p.Degrade.attempts;
+        print_cache_line cache
     end
     else if hybrid then begin
       let t0 = Sys.time () in
@@ -348,14 +429,27 @@ let optimize_cmd =
         (Catalog.n problem.catalog) Dp_table.max_relations;
       exit 1
     end;
+    Engine.with_session ~model ~num_domains ?cache (fun session ->
+    let prob = Registry.problem ~graph:problem.graph problem.catalog in
+    let optimizer = if threshold = None then "exact" else "thresholded" in
     let t0 = Unix.gettimeofday () in
-    let outcome =
-      let ctx = Registry.ctx ~num_domains ?threshold ~growth model in
-      Registry.optimize
-        ~optimizer:(if threshold = None then "exact" else "thresholded")
-        ctx
-        (Registry.problem ~graph:problem.graph problem.catalog)
+    (* With --repeat the same query streams through the session K times:
+       cold the first time, answered from the cache (when enabled) after. *)
+    let run_once () =
+      match threshold with
+      | None -> Engine.optimize ~optimizer session prob
+      | Some _ ->
+        (* An explicit threshold carries the --growth escalation policy,
+           which lives on the raw registry ctx (and bypasses the cache:
+           thresholded outcomes under a caller threshold are
+           caller-dependent). *)
+        Registry.optimize ~optimizer (Engine.ctx ?threshold ~growth session) prob
     in
+    let outcome = ref (run_once ()) in
+    for _ = 2 to repeat do
+      outcome := run_once ()
+    done;
+    let outcome = !outcome in
     let elapsed = Unix.gettimeofday () -. t0 in
     Printf.printf "query:      %s\n" problem.label;
     Printf.printf "model:      %s\n" model.Cost_model.name;
@@ -371,7 +465,9 @@ let optimize_cmd =
     Printf.printf "shape:      %s, %d cartesian product(s)\n"
       (if Plan.is_left_deep plan then "left-deep" else "bushy")
       (Plan.cartesian_join_count problem.graph plan);
-    Printf.printf "time:       %.4fs (%d pass(es))\n" elapsed outcome.Registry.passes;
+    Printf.printf "time:       %.4fs (%d pass(es)%s)\n" elapsed outcome.Registry.passes
+      (if repeat > 1 then Printf.sprintf ", %d runs" repeat else "");
+    print_cache_line cache;
     if dump_table then begin
       print_newline ();
       match outcome.Registry.table with
@@ -404,7 +500,7 @@ let optimize_cmd =
               estimated actual
               (if estimated > 0.0 then actual /. estimated else Float.nan))
           comparisons
-    end
+    end)
     end);
     obs_report ~metrics ~trace
   in
@@ -412,7 +508,8 @@ let optimize_cmd =
     Term.(
       const run $ problem_term $ model_arg $ threshold_arg $ growth_arg $ dump_table_arg
       $ annotate_arg $ execute_arg $ seed_arg $ physical_arg $ hybrid_arg $ degrade_arg
-      $ deadline_ms_arg $ max_table_mb_arg $ num_domains_arg $ metrics_arg $ trace_arg)
+      $ deadline_ms_arg $ max_table_mb_arg $ num_domains_arg $ cache_term $ repeat_arg
+      $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a join query with the blitzsplit algorithm")
@@ -522,12 +619,16 @@ let explain_cmd =
       & info [ "threshold" ] ~docv:"COST"
           ~doc:"Initial plan-cost threshold for the thresholded optimizer.")
   in
-  let run problem model optimizer num_domains threshold metrics trace =
+  let run problem model optimizer num_domains threshold cache repeat metrics trace =
     (* Explain always records: the whole point is showing what the run
        did.  The process is this one query, so the metrics ARE the run's
        deltas. *)
     Obs.Metrics.set_enabled true;
     obs_arm ~metrics ~trace;
+    if repeat < 1 then begin
+      Printf.eprintf "blitz: --repeat %d must be at least 1\n" repeat;
+      exit 1
+    end;
     let names = Catalog.names problem.catalog in
     let entry =
       match Registry.find optimizer with
@@ -545,11 +646,16 @@ let explain_cmd =
       exit 1);
     let t0 = Unix.gettimeofday () in
     let outcome =
-      Engine.with_session ~model ~num_domains (fun session ->
-          let o =
-            Engine.optimize ~optimizer ?threshold session
-              (Registry.problem ~graph:problem.graph problem.catalog)
-          in
+      Engine.with_session ~model ~num_domains ?cache (fun session ->
+          let prob = Registry.problem ~graph:problem.graph problem.catalog in
+          let o = ref (Engine.optimize ~optimizer ?threshold session prob) in
+          (* Repeats replay the query through the session; with --cache
+             every run after the first is answered from the cache, and
+             the metric deltas below show the hit/miss counters. *)
+          for _ = 2 to repeat do
+            o := Engine.optimize ~optimizer ?threshold session prob
+          done;
+          let o = !o in
           { o with Registry.table = None; counters = Option.map Counters.copy o.Registry.counters })
     in
     let elapsed = Unix.gettimeofday () -. t0 in
@@ -573,6 +679,7 @@ let explain_cmd =
     (match outcome.Registry.note with
     | Some note -> Printf.printf "note:       %s\n" note
     | None -> ());
+    print_cache_line cache;
     Printf.printf "time:       %.4fs\n" elapsed;
     (* The plan tree with the DP table's view of every node: the
        relation subset, its estimated cardinality, and the cumulative
@@ -624,7 +731,7 @@ let explain_cmd =
   let term =
     Term.(
       const run $ problem_term $ model_arg $ optimizer_arg $ num_domains_arg $ threshold_arg
-      $ metrics_arg $ trace_arg)
+      $ cache_term $ repeat_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "explain"

@@ -6,6 +6,8 @@ module Counters = Blitz_core.Counters
 module Blitzsplit = Blitz_core.Blitzsplit
 module Pool = Blitz_parallel.Pool
 module Obs = Blitz_obs.Obs
+module Plan_cache = Blitz_cache.Plan_cache
+module Fingerprint = Blitz_cache.Fingerprint
 
 let m_latency =
   Obs.Metrics.histogram ~help:"Engine.optimize wall-clock seconds per query"
@@ -31,23 +33,43 @@ let g_arena_grows =
   Obs.Metrics.gauge ~help:"Buffer growths (vs pooled reuses) of the most recently used arena"
     "blitz_arena_grows"
 
+let m_cache_lookup =
+  Obs.Metrics.histogram ~help:"Plan-cache fingerprint + lookup wall-clock seconds"
+    "blitz_cache_lookup_seconds"
+
 type t = {
   model : Cost_model.t;
   num_domains : int;
   seed : int;
   arena : Arena.t;
+  cache : Plan_cache.t option;
+  (* One fingerprint workspace per session: [optimize_many] batches
+     canonicalize every query through it without allocating. *)
+  scratch : Fingerprint.scratch;
+  digest : int;  (* Fingerprint.model_digest of the session model *)
   mutable pool : Pool.t option;
   mutable closed : bool;
 }
 
-let create ?(model = Blitz_cost.Cost_model.kdnl) ?(num_domains = 1) ?(seed = 1) () =
+let create ?(model = Blitz_cost.Cost_model.kdnl) ?(num_domains = 1) ?(seed = 1) ?cache () =
   if num_domains < 1 || num_domains > 128 then
     invalid_arg (Printf.sprintf "Engine.create: num_domains %d outside [1, 128]" num_domains);
-  { model; num_domains; seed; arena = Arena.create (); pool = None; closed = false }
+  {
+    model;
+    num_domains;
+    seed;
+    arena = Arena.create ();
+    cache;
+    scratch = Fingerprint.create_scratch ();
+    digest = (match cache with Some _ -> Fingerprint.model_digest model | None -> 0);
+    pool = None;
+    closed = false;
+  }
 
 let model t = t.model
 let num_domains t = t.num_domains
 let arena t = t.arena
+let cache t = t.cache
 
 (* The pool is spawned on first use, not at [create]: single-domain
    sessions (and multi-domain sessions that only ever run table-free
@@ -68,8 +90,8 @@ let close t =
   Arena.clear t.arena;
   t.closed <- true
 
-let with_session ?model ?num_domains ?seed f =
-  let t = create ?model ?num_domains ?seed () in
+let with_session ?model ?num_domains ?seed ?cache f =
+  let t = create ?model ?num_domains ?seed ?cache () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 let ctx ?interrupt ?threshold ?growth ?max_passes ?counters t =
@@ -89,32 +111,126 @@ let record_outcome t (o : Registry.outcome) =
     Obs.Metrics.set g_arena_grows (float_of_int (Arena.grows t.arena))
   end
 
+(* ---- plan-cache participation ----
+
+   A session with a cache consults it for any optimizer whose registry
+   entry promises exactness (a cached entry must mean the same thing no
+   matter which query stored it), and only when the caller supplied no
+   explicit threshold (an explicit threshold makes the outcome
+   caller-dependent).  A hit skips the optimizer entirely; a miss for
+   ["thresholded"] may still warm-start from the shape tier before
+   running cold, and a completed cold optimum is stored. *)
+
+let digest_for t m = if m == t.model then t.digest else Fingerprint.model_digest m
+
+let cache_find ?model t ~optimizer (p : Registry.problem) =
+  match t.cache with
+  | None -> None
+  | Some c ->
+      let m = Option.value ~default:t.model model in
+      Obs.Metrics.time m_cache_lookup (fun () ->
+          Fingerprint.compute t.scratch ~model_digest:(digest_for t m) p.Registry.catalog
+            p.Registry.graph;
+          Plan_cache.find c t.scratch ~optimizer)
+
+let cache_store ?model t ~optimizer (p : Registry.problem) (o : Registry.outcome) =
+  match (t.cache, o.Registry.plan) with
+  | Some c, Some plan when Float.is_finite o.Registry.cost ->
+      let m = Option.value ~default:t.model model in
+      Fingerprint.compute t.scratch ~model_digest:(digest_for t m) p.Registry.catalog
+        p.Registry.graph;
+      Plan_cache.store c t.scratch ~optimizer ~plan ~cost:o.Registry.cost
+        ~passes:o.Registry.passes ~final_threshold:o.Registry.final_threshold
+  | _ -> ()
+
+let hit_outcome ctr (h : Plan_cache.hit) =
+  {
+    Registry.plan = Some h.Plan_cache.plan;
+    cost = h.Plan_cache.cost;
+    passes = h.Plan_cache.passes;
+    final_threshold = h.Plan_cache.final_threshold;
+    table = None;
+    counters = Some ctr;  (* freshly reset: a hit runs zero splits *)
+    note =
+      Some (if h.Plan_cache.rebased then "plan cache: hit (rebased)" else "plan cache: hit");
+  }
+
+let append_note extra (o : Registry.outcome) =
+  let note = match o.Registry.note with None -> extra | Some n -> n ^ "; " ^ extra in
+  { o with Registry.note = Some note }
+
+(* Run one problem through the entry, going through the cache when the
+   session has one.  The scratch already holds this problem's canonical
+   form on the miss path, so the store needs no recompute.  [cold_ctx],
+   when given, is a prebuilt ctx to run cold (unthresholded) passes
+   with, letting batches share one ctx across queries. *)
+let run_entry t (entry : Registry.entry) ~optimizer ?interrupt ?threshold ?cold_ctx ~ctr problem
+    =
+  let cold () =
+    match cold_ctx with Some c -> c | None -> ctx ?interrupt ?threshold ~counters:ctr t
+  in
+  let cacheable =
+    t.cache <> None && entry.Registry.caps.Registry.exact && Option.is_none threshold
+  in
+  if not cacheable then entry.Registry.optimize (cold ()) problem
+  else
+    let c = Option.get t.cache in
+    let hit =
+      Obs.Metrics.time m_cache_lookup (fun () ->
+          Fingerprint.compute t.scratch ~model_digest:t.digest problem.Registry.catalog
+            problem.Registry.graph;
+          Plan_cache.find c t.scratch ~optimizer)
+    in
+    match hit with
+    | Some h -> hit_outcome ctr h
+    | None ->
+        let warm =
+          if String.equal optimizer "thresholded" then Plan_cache.shape_threshold c t.scratch
+          else None
+        in
+        let o =
+          match warm with
+          | None -> entry.Registry.optimize (cold ()) problem
+          | Some w -> entry.Registry.optimize (ctx ?interrupt ~threshold:w ~counters:ctr t) problem
+        in
+        (match o.Registry.plan with
+        | Some plan when Float.is_finite o.Registry.cost ->
+            Plan_cache.store c t.scratch ~optimizer ~plan ~cost:o.Registry.cost
+              ~passes:o.Registry.passes ~final_threshold:o.Registry.final_threshold
+        | _ -> ());
+        if Option.is_some warm then append_note "plan cache: warm-start" o else o
+
 let optimize ?(optimizer = "exact") ?interrupt ?threshold t problem =
   if t.closed then invalid_arg "Engine.optimize: session is closed";
+  let entry = Registry.find_exn optimizer in
   let ctr = Arena.counters t.arena in
   Counters.reset ctr;
   let o =
     Obs.span "engine.optimize" ~attrs:[ ("optimizer", optimizer) ] (fun () ->
         Obs.Metrics.time m_latency (fun () ->
-            Registry.optimize ~optimizer (ctx ?interrupt ?threshold ~counters:ctr t) problem))
+            run_entry t entry ~optimizer ?interrupt ?threshold ~ctr problem))
   in
   record_outcome t o;
   o
 
 let optimize_many ?(optimizer = "exact") ?interrupt t problems =
   if t.closed then invalid_arg "Engine.optimize_many: session is closed";
-  (* One registry lookup and one ctx for the whole batch — per-query
-     work is just a counter reset and the optimizer itself. *)
+  (* One registry lookup for the whole batch — per-query work is a
+     counter reset, a fingerprint into the session scratch (cache
+     sessions), and the optimizer itself. *)
   let entry = Registry.find_exn optimizer in
   let ctr = Arena.counters t.arena in
-  let c = ctx ?interrupt ~counters:ctr t in
+  let cold_ctx = ctx ?interrupt ~counters:ctr t in
   let completed = ref [] in
   Obs.span "engine.optimize_many" ~attrs:[ ("optimizer", optimizer) ] (fun () ->
       try
         Seq.iter
           (fun p ->
             Counters.reset ctr;
-            let o = Obs.Metrics.time m_latency (fun () -> entry.Registry.optimize c p) in
+            let o =
+              Obs.Metrics.time m_latency (fun () ->
+                  run_entry t entry ~optimizer ?interrupt ~cold_ctx ~ctr p)
+            in
             record_outcome t o;
             (* The table is a view of the arena's buffer, overwritten by the
                next query; the counters record is reused and reset.  Detach

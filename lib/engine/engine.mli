@@ -10,11 +10,25 @@
     fresh-allocation runs for every optimizer and domain count (tested
     property).
 
+    A session may also carry a {!Blitz_cache.Plan_cache}: any optimizer
+    whose registry entry promises exactness then consults it before
+    running (skipping the whole DP on a hit, with the cached plan
+    rebased to the caller's relation numbering), stores completed
+    optima, and — for the ["thresholded"] driver — seeds its first pass
+    from the cache's shape tier on an exact miss.  The cache is shared
+    by whatever sessions were created with it (it is domain-safe);
+    omitting it at {!create} is the per-session opt-out.  Each session
+    owns one preallocated fingerprint workspace, so cache participation
+    adds no per-query allocation on the hit path.  Caching is bypassed
+    whenever the caller passes an explicit [threshold] (such outcomes
+    are caller-dependent) and for inexact optimizers.
+
     When [Blitz_obs.Metrics] is enabled, sessions publish per-query
     latency and plan-cost histograms ([blitz_engine_optimize_seconds],
-    [blitz_engine_plan_cost]), a query counter, and gauges tracking the
-    arena's resident bytes / acquires / grows; disabled, the
-    instrumentation is a single atomic branch per query.
+    [blitz_engine_plan_cost]), a query counter, gauges tracking the
+    arena's resident bytes / acquires / grows, and a
+    [blitz_cache_lookup_seconds] histogram over fingerprint+lookup;
+    disabled, the instrumentation is a single atomic branch per query.
 
     Sessions are single-threaded: one optimize call at a time. *)
 
@@ -24,21 +38,27 @@ module Cost_model = Blitz_cost.Cost_model
 module Arena = Blitz_core.Arena
 module Counters = Blitz_core.Counters
 module Pool = Blitz_parallel.Pool
+module Plan_cache = Blitz_cache.Plan_cache
 
 type t
 
-val create : ?model:Cost_model.t -> ?num_domains:int -> ?seed:int -> unit -> t
+val create :
+  ?model:Cost_model.t -> ?num_domains:int -> ?seed:int -> ?cache:Plan_cache.t -> unit -> t
 (** [model] defaults to [kdnl], [num_domains] to 1 (sequential), [seed]
     to 1.  Nothing is allocated up front: the first query sizes the
     arena, and the domain pool spawns on the first parallel run.
-    Raises [Invalid_argument] when [num_domains] is outside [1, 128]. *)
+    [cache] plugs a (possibly shared) plan cache into the session; no
+    cache means no lookups and no stores.  Raises [Invalid_argument]
+    when [num_domains] is outside [1, 128]. *)
 
 val close : t -> unit
 (** Shut the pool down (if spawned) and drop the arena's buffers.
     Subsequent {!optimize} calls raise [Invalid_argument]. *)
 
-val with_session : ?model:Cost_model.t -> ?num_domains:int -> ?seed:int -> (t -> 'a) -> 'a
-(** Bracketed {!create}/{!close}. *)
+val with_session :
+  ?model:Cost_model.t -> ?num_domains:int -> ?seed:int -> ?cache:Plan_cache.t -> (t -> 'a) -> 'a
+(** Bracketed {!create}/{!close}.  A supplied [cache] is left intact at
+    close (it may be shared with other sessions). *)
 
 val optimize :
   ?optimizer:string ->
@@ -81,6 +101,24 @@ val pool : t -> Pool.t option
 
 val counters : t -> Counters.t
 (** The arena's counter block (reset at each {!optimize}). *)
+
+val cache : t -> Plan_cache.t option
+
+val cache_find : ?model:Cost_model.t -> t -> optimizer:string -> Registry.problem -> Plan_cache.hit option
+(** Consult the session's cache directly (no optimizer run): fingerprint
+    the problem into the session scratch and look it up under the given
+    optimizer name.  [None] when the session has no cache or on a miss.
+    [model] defaults to the session model; pass it when dispatching
+    under a different cost model (the Guard driver's case).  Exposed for
+    budget-holding drivers that sequence registry entries themselves. *)
+
+val cache_store :
+  ?model:Cost_model.t -> t -> optimizer:string -> Registry.problem -> Registry.outcome -> unit
+(** Record a completed outcome for the problem (recomputing the
+    fingerprint, so it need not be the last one looked up).  No-ops
+    without a cache, on plan-less outcomes, and on non-finite costs.
+    Callers must only store outcomes that are true optima for the named
+    optimizer. *)
 
 val ctx :
   ?interrupt:(unit -> bool) ->

@@ -82,7 +82,7 @@ let pp_provenance ppf p =
    the cascade always ends with a plan.  With a session [arena] the
    memory check charges the arena's would-be resident high-water mark
    ([Arena.bytes_after]) instead of the per-call table size. *)
-let eligibility ?arena ~budget tier catalog graph =
+let eligibility ?arena ?(cache_bytes = 0) ~budget tier catalog graph =
   let n = Catalog.n catalog in
   let caps = (tier_entry tier).Registry.caps in
   if caps.Registry.deadline_exempt then None
@@ -95,8 +95,11 @@ let eligibility ?arena ~budget tier catalog graph =
         match caps.Registry.table_bytes with
         | None -> None
         | Some bytes ->
+          (* A resident plan cache shares the memory ceiling with the
+             DP table: what the cache holds, the table cannot claim. *)
           let needed_bytes =
-            match arena with Some a -> Arena.bytes_after a ~n () | None -> bytes ~n
+            cache_bytes
+            + (match arena with Some a -> Arena.bytes_after a ~n () | None -> bytes ~n)
           in
           if Budget.admits_bytes budget needed_bytes then None
           else
@@ -155,13 +158,13 @@ let record_win tier =
          ~labels:[ ("tier", tier_name tier) ]
          "blitz_degrade_wins_total")
 
-let optimize ?(cascade = default_cascade) ?(seed = 1) ?num_domains ?arena ?pool ~budget model
-    catalog graph =
+let optimize ?(cascade = default_cascade) ?(seed = 1) ?num_domains ?arena ?pool ?cache_bytes
+    ~budget model catalog graph =
   let t_start = Budget.elapsed_ms budget in
   let rec go attempts = function
     | [] -> Error (List.rev attempts)
     | tier :: rest -> (
-      match eligibility ?arena ~budget tier catalog graph with
+      match eligibility ?arena ?cache_bytes ~budget tier catalog graph with
       | Some reason ->
         record_attempt tier "skipped" (skip_message reason);
         go ({ tier; status = Skipped reason; elapsed_ms = 0.0 } :: attempts) rest

@@ -67,7 +67,13 @@ val pp_attempt : Format.formatter -> attempt -> unit
 val pp_provenance : Format.formatter -> provenance -> unit
 
 val eligibility :
-  ?arena:Arena.t -> budget:Budget.t -> tier -> Catalog.t -> Join_graph.t -> skip_reason option
+  ?arena:Arena.t ->
+  ?cache_bytes:int ->
+  budget:Budget.t ->
+  tier ->
+  Catalog.t ->
+  Join_graph.t ->
+  skip_reason option
 (** [None] when the tier may be attempted under the budget's current
     state; otherwise why it must be skipped.  The checks are read off
     the tier's registry-entry capability metadata ([Blitz_engine]) —
@@ -75,7 +81,9 @@ val eligibility :
     duplicated here.  {!Greedy} is always eligible (deadline-exempt).
     With [arena] the memory ceiling charges the session's would-be
     resident high-water mark ({!Arena.bytes_after}) rather than the
-    per-call table size. *)
+    per-call table size; [cache_bytes] (a resident plan-cache footprint,
+    default 0) is added to the charge so cache memory counts under the
+    same ceiling as the DP table. *)
 
 val run_tier :
   ?num_domains:int ->
@@ -105,6 +113,7 @@ val optimize :
   ?num_domains:int ->
   ?arena:Arena.t ->
   ?pool:Pool.t ->
+  ?cache_bytes:int ->
   budget:Budget.t ->
   Cost_model.t ->
   Catalog.t ->
@@ -113,4 +122,4 @@ val optimize :
 (** Walk the cascade under the (already armed) budget.  [Error attempts]
     — possible only with a custom [cascade] that omits {!Greedy} — still
     reports why every tier declined.  [num_domains] is forwarded to the
-    DP tiers (see {!run_tier}). *)
+    DP tiers (see {!run_tier}); [cache_bytes] to {!eligibility}. *)

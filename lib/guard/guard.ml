@@ -11,6 +11,7 @@ type outcome = {
   repairs : Sanitize.issue list;
   catalog : Catalog.t;
   graph : Join_graph.t;
+  from_cache : bool;
 }
 
 type error =
@@ -33,6 +34,50 @@ let error_message = function
 
 let pp_error ppf e = Format.pp_print_string ppf (error_message e)
 
+(* The guard participates in a session's plan cache only on the clean
+   path: sanitize-repaired statistics (the chaos suite's territory) are
+   a different query than the caller submitted, and a resilient driver
+   does not let a corrupted input stream populate — or be answered from
+   — the cache.  Hits and stores go per tier key ("exact" stays
+   bit-compatible with "exact", "thresholded" with "thresholded"). *)
+let cacheable_tiers = [ Degrade.Exact; Degrade.Thresholded ]
+
+let cache_lookup ~session ~repairs model catalog graph =
+  match session with
+  | Some s when repairs = [] && Engine.cache s <> None ->
+    let problem = Blitz_engine.Registry.problem ~graph catalog in
+    let rec try_tiers = function
+      | [] -> None
+      | tier :: rest -> (
+        match Engine.cache_find ~model s ~optimizer:(Degrade.tier_name tier) problem with
+        | Some hit -> Some (tier, hit)
+        | None -> try_tiers rest)
+    in
+    try_tiers cacheable_tiers
+  | _ -> None
+
+let cache_record ~session ~repairs model catalog graph (plan : Plan.t)
+    (provenance : Degrade.provenance) =
+  match session with
+  | Some s
+    when repairs = []
+         && List.exists (fun t -> t = provenance.Degrade.winner) cacheable_tiers ->
+    let problem = Blitz_engine.Registry.problem ~graph catalog in
+    let outcome =
+      {
+        Blitz_engine.Registry.plan = Some plan;
+        cost = provenance.Degrade.winner_cost;
+        passes = 1;
+        final_threshold = infinity;
+        table = None;
+        counters = None;
+        note = None;
+      }
+    in
+    Engine.cache_store ~model s ~optimizer:(Degrade.tier_name provenance.Degrade.winner)
+      problem outcome
+  | _ -> ()
+
 (* All entry points funnel here.  The budget is (re-)armed exactly once,
    so every tier of the cascade draws down the same allowance; the
    catch-all converts any escaped exception — there should be none, but
@@ -40,22 +85,63 @@ let pp_error ppf e = Format.pp_print_string ppf (error_message e)
    rather than unwinding through the caller. *)
 let drive ~budget ~cascade ~seed ~num_domains ~session model catalog graph repairs =
   Budget.start budget;
-  (* A session plugs its pooled DP table and spawned domain pool into
-     the cascade; its domain count is the default when the caller gave
-     none.  Plans and costs are bit-identical with or without it. *)
-  let arena = Option.map Engine.arena session in
-  let pool = Option.bind session Engine.pool in
-  let num_domains =
-    match (num_domains, session) with
-    | (Some _ as d), _ -> d
-    | None, Some s -> Some (Engine.num_domains s)
-    | None, None -> None
-  in
-  match Degrade.optimize ?cascade ?seed ?num_domains ?arena ?pool ~budget model catalog graph with
-  | Ok (plan, provenance) ->
-    Ok { plan; cost = provenance.Degrade.winner_cost; provenance; repairs; catalog; graph }
-  | Error attempts -> Error (No_tier_produced attempts)
-  | exception exn -> Error (Internal (Printexc.to_string exn))
+  match cache_lookup ~session ~repairs model catalog graph with
+  | Some (tier, hit) ->
+    let cost = hit.Blitz_engine.Engine.Plan_cache.cost in
+    let provenance =
+      {
+        Degrade.winner = tier;
+        winner_cost = cost;
+        attempts =
+          [ { Degrade.tier; status = Degrade.Produced cost; elapsed_ms = Budget.elapsed_ms budget } ];
+        total_ms = Budget.elapsed_ms budget;
+      }
+    in
+    Ok
+      {
+        plan = hit.Blitz_engine.Engine.Plan_cache.plan;
+        cost;
+        provenance;
+        repairs;
+        catalog;
+        graph;
+        from_cache = true;
+      }
+  | None -> (
+    (* A session plugs its pooled DP table and spawned domain pool into
+       the cascade; its domain count is the default when the caller gave
+       none.  Plans and costs are bit-identical with or without it. *)
+    let arena = Option.map Engine.arena session in
+    let pool = Option.bind session Engine.pool in
+    let cache_bytes =
+      match Option.bind session Engine.cache with
+      | Some c -> Some (Blitz_engine.Engine.Plan_cache.resident_bytes c)
+      | None -> None
+    in
+    let num_domains =
+      match (num_domains, session) with
+      | (Some _ as d), _ -> d
+      | None, Some s -> Some (Engine.num_domains s)
+      | None, None -> None
+    in
+    match
+      Degrade.optimize ?cascade ?seed ?num_domains ?arena ?pool ?cache_bytes ~budget model
+        catalog graph
+    with
+    | Ok (plan, provenance) ->
+      cache_record ~session ~repairs model catalog graph plan provenance;
+      Ok
+        {
+          plan;
+          cost = provenance.Degrade.winner_cost;
+          provenance;
+          repairs;
+          catalog;
+          graph;
+          from_cache = false;
+        }
+    | Error attempts -> Error (No_tier_produced attempts)
+    | exception exn -> Error (Internal (Printexc.to_string exn)))
 
 let optimize ?budget ?session ?cascade ?seed ?num_domains model catalog graph =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in

@@ -25,6 +25,12 @@ type outcome = {
       (** Defects the sanitizer repaired (empty for already-valid input). *)
   catalog : Catalog.t;  (** The sanitized inputs the plan refers to — *)
   graph : Join_graph.t;  (** relevant when repairs dropped edges. *)
+  from_cache : bool;
+      (** The plan came from the session's plan cache (no tier ran).
+          Possible only with a cache-carrying [session] and an input the
+          sanitizer accepted verbatim; cache participation is bypassed
+          whenever repairs were made, so the chaos/sanitize paths can
+          neither populate the cache nor be answered from it. *)
 }
 
 type error =

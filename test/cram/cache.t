@@ -1,0 +1,61 @@
+The plan-cache surface: --cache / --cache-mb / --no-cache / --repeat.
+A cache lives for one invocation, so --repeat is what makes hits
+observable: every submission after the first of an identical query is
+answered from the cache.  Time lines vary run to run and are filtered.
+
+Plain path: 4 submissions = 1 miss + insertion, then 3 hits, and the
+plan is byte-identical to an uncached run:
+
+  $ blitz optimize -n 6 --topology chain --mean-card 100 --variability 0.5 --cache --repeat 4 | grep -v '^time:'
+  query:      n=6 chain k0 mu=100 v=0.50
+  model:      kdnl
+  plan:       ((R1 x (R0 x R3)) x (R4 x (R2 x R5)))
+  cost:       84.6153
+  cardinality:100
+  shape:      bushy, 0 cartesian product(s)
+  cache:      3 hit(s) (0 rebased), 1 miss(es), 1 insertion(s), 0 shape seed(s)
+
+  $ blitz optimize -n 6 --topology chain --mean-card 100 --variability 0.5 | grep -E '^plan:|^cost:'
+  plan:       ((R1 x (R0 x R3)) x (R4 x (R2 x R5)))
+  cost:       84.6153
+
+--no-cache wins over --cache (and --cache-mb): no cache line at all:
+
+  $ blitz optimize -n 6 --topology chain --mean-card 100 --variability 0.5 --no-cache --cache-mb 8 --repeat 2 | grep -c '^cache:'
+  0
+  [1]
+
+The guarded driver consults the same session cache on its clean path;
+the second and third submissions skip the cascade entirely and the tier
+line says so (the first run's two misses are the exact and thresholded
+tier lookups):
+
+  $ strip() { sed -E 's/ in [0-9.]+ms/ in Xms/' | grep -v '^time:'; }
+
+  $ blitz optimize -n 6 --topology chain --mean-card 100 --variability 0.5 --degrade --cache --repeat 3 | strip
+  query:      n=6 chain k0 mu=100 v=0.50
+  model:      kdnl (guarded driver)
+  plan:       ((R1 x (R0 x R3)) x (R4 x (R2 x R5)))
+  cost:       84.6153
+  tier:       exact (plan served from session cache)
+  provenance:
+    exact: produced plan (cost 84.6153) in Xms
+  cache:      2 hit(s) (0 rebased), 2 miss(es), 1 insertion(s), 0 shape seed(s)
+
+explain shows cache provenance twice over: the outcome's note names the
+hit, and the metric deltas carry the exact hit/miss/insertion counts:
+
+  $ blitz explain -n 5 --topology chain --mean-card 100 --variability 0.5 --cache --repeat 3 > explain.txt 2>&1
+  $ grep -E '^note:|^cache:' explain.txt
+  note:       plan cache: hit
+  cache:      2 hit(s) (0 rebased), 1 miss(es), 1 insertion(s), 0 shape seed(s)
+  $ grep -E '^  blitz_cache' explain.txt
+    blitz_cache_hits_total 2
+    blitz_cache_insertions_total 1
+    blitz_cache_misses_total 1
+
+--repeat must be positive:
+
+  $ blitz optimize -n 4 --repeat 0 2>&1
+  blitz: --repeat 0 must be at least 1
+  [1]

@@ -22,6 +22,7 @@ let () =
       ("hybrid", Test_hybrid.suite);
       ("engine", Test_engine.suite);
       ("guard", Test_guard.suite);
+      ("cache", Test_cache.suite);
       ("workload", Test_workload.suite);
       ("tpch", Test_tpch.suite);
       ("exec", Test_exec.suite);
