@@ -257,7 +257,10 @@ let warm_start ~n ~model =
             { o with Registry.counters = Option.map Counters.copy o.Registry.counters })
           variants)
   in
-  let shape_hits = (Plan_cache.stats cache).Plan_cache.shape_hits in
+  (* The banded ensemble answers a jittered lookup before the plain
+     cost table does, so warm seeds land in either counter. *)
+  let stats = Plan_cache.stats cache in
+  let shape_hits = stats.Plan_cache.shape_hits + stats.Plan_cache.band_hits in
   let cold_outcomes =
     Engine.with_session ~model (fun s ->
         List.map
@@ -350,7 +353,7 @@ let run () =
   in
   let reduction = 100.0 *. (1.0 -. (float_of_int warm_iters /. float_of_int cold_iters)) in
   Printf.printf
-    "\nwarm-started thresholded runs at n=%d: %d jittered variants, %d shape-tier seeds\n"
+    "\nwarm-started thresholded runs at n=%d: %d jittered variants, %d shape-tier seeds (banded or cost-only)\n"
     n_warm variants shape_hits;
   Printf.printf "  cold (greedy-seeded): %d split-loop iters, %d threshold skips, %d passes\n"
     cold_iters cold_skips cold_passes;

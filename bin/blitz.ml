@@ -4,6 +4,7 @@
      optimize   optimize a query (from a SQL script or workload flags)
      compare    run every optimizer in the repository on one query
      workload   emit an appendix-style benchmark workload as a SQL script
+     regret     measure plan-cost regret under cardinality-estimate error
      counters   show instrumentation counters for one optimization
 
    Examples:
@@ -28,6 +29,10 @@ module Rng = Blitz_util.Rng
 module Guard = Blitz_guard.Guard
 module Budget = Blitz_guard.Budget
 module Degrade = Blitz_guard.Degrade
+module Sanitize = Blitz_guard.Sanitize
+module Chaos = Blitz_guard.Chaos
+module Noise = Blitz_robust.Noise
+module Regret = Blitz_robust.Regret
 module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
 module Registry = Blitz_engine.Registry
 module Engine = Blitz_engine.Engine
@@ -229,9 +234,11 @@ let print_cache_line cache =
   | None -> ()
   | Some c ->
     let s = Plan_cache.stats c in
-    Printf.printf "cache:      %d hit(s) (%d rebased), %d miss(es), %d insertion(s), %d shape seed(s)\n"
+    Printf.printf
+      "cache:      %d hit(s) (%d rebased), %d miss(es), %d insertion(s), %d shape seed(s), %d \
+       band seed(s)\n"
       s.Plan_cache.hits s.Plan_cache.rebases s.Plan_cache.misses s.Plan_cache.insertions
-      s.Plan_cache.shape_hits
+      s.Plan_cache.shape_hits s.Plan_cache.band_hits
 
 (* ---- optimize ---- *)
 
@@ -314,8 +321,24 @@ let optimize_cmd =
       & info [ "physical" ]
           ~doc:"Optimize with interesting sort orders (Section 6.5 extension): print a                 physical plan with sorts, merge joins and nested loops.  Honors the                 query's ORDER BY.")
   in
+  let scramble_arg =
+    Arg.(
+      value & flag
+      & info [ "scramble-catalog" ]
+          ~doc:"Corrupt every cardinality with seeded NaN/infinite/negative garbage before \
+                optimizing (the Chaos Catalog_scrambled fault).  The guarded driver repairs the \
+                statistics with fabricated substitutes and degrades to the estimate-free \
+                simpli-squared tier — a deterministic demonstration of planning without \
+                statistics (implies --degrade).")
+  in
+  let corrupt_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "corrupt-seed" ] ~docv:"SEED"
+          ~doc:"Seed for --scramble-catalog corruption (independent of --seed).")
+  in
   let run problem model threshold growth dump_table annotate execute seed physical hybrid degrade
-      deadline_ms max_table_mb num_domains cache repeat metrics trace =
+      deadline_ms max_table_mb num_domains cache repeat metrics trace scramble corrupt_seed =
     obs_arm ~metrics ~trace;
     let names = Catalog.names problem.catalog in
     let num_domains =
@@ -330,9 +353,38 @@ let optimize_cmd =
       Printf.eprintf "blitz: --repeat %d must be at least 1\n" repeat;
       exit 1
     end;
+    (if scramble then begin
+      (* Catalog corruption is only survivable through the guarded
+         driver: Sanitize fabricates substitute cardinalities and the
+         cascade lands on the estimate-free tier. *)
+      let input = Chaos.input_of problem.catalog problem.graph in
+      let corrupted, faults = Chaos.scramble_catalog ~seed:corrupt_seed input in
+      match
+        Guard.optimize_input ~seed ~num_domains model ~relations:corrupted.Chaos.relations
+          ~edges:corrupted.Chaos.edges ()
+      with
+      | Error e ->
+        Printf.eprintf "blitz: %s\n" (Guard.error_message e);
+        exit 1
+      | Ok o ->
+        let p = o.Guard.provenance in
+        Printf.printf "query:      %s\n" problem.label;
+        Printf.printf "model:      %s (guarded driver, scrambled catalog)\n"
+          model.Cost_model.name;
+        List.iter
+          (fun f -> Printf.printf "fault:      %s\n" (Chaos.fault_message f))
+          faults;
+        Printf.printf "repairs:    %d (statistics fabricated by the sanitizer)\n"
+          (List.length o.Guard.repairs);
+        Printf.printf "plan:       %s\n"
+          (Plan.to_compact_string ~names:(Catalog.names o.Guard.catalog) o.Guard.plan);
+        Printf.printf "tier:       %s\n" (Degrade.tier_name p.Degrade.winner);
+        Printf.printf "provenance:\n";
+        List.iter (fun a -> Format.printf "  %a@." Degrade.pp_attempt a) p.Degrade.attempts
+    end
     (* Any budget flag implies the resilient driver: a deadline or memory
        ceiling is only enforceable when degradation is allowed. *)
-    (if degrade || deadline_ms <> None || max_table_mb <> None then begin
+    else if degrade || deadline_ms <> None || max_table_mb <> None then begin
       let budget =
         match
           Budget.create ?deadline_ms
@@ -509,7 +561,7 @@ let optimize_cmd =
       const run $ problem_term $ model_arg $ threshold_arg $ growth_arg $ dump_table_arg
       $ annotate_arg $ execute_arg $ seed_arg $ physical_arg $ hybrid_arg $ degrade_arg
       $ deadline_ms_arg $ max_table_mb_arg $ num_domains_arg $ cache_term $ repeat_arg
-      $ metrics_arg $ trace_arg)
+      $ metrics_arg $ trace_arg $ scramble_arg $ corrupt_seed_arg)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a join query with the blitzsplit algorithm")
@@ -739,6 +791,85 @@ let explain_cmd =
              cost, the split-loop counters, and the run's metric deltas")
     term
 
+(* ---- regret ---- *)
+
+let regret_cmd =
+  let mode_conv =
+    let parse s = Result.map_error (fun e -> `Msg e) (Noise.mode_of_string s) in
+    let print ppf m = Format.pp_print_string ppf (Noise.mode_name m) in
+    Arg.conv (parse, print)
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 9
+      & info [ "n" ] ~docv:"N" ~doc:"Number of relations per generated workload (default 9).")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt mode_conv Noise.Lognormal
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Noise model: lognormal or adversarial.")
+  in
+  let levels_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.5; 1.0; 2.0 ]
+      & info [ "levels" ] ~docv:"L,..."
+          ~doc:"Error levels in decades (standard deviation for lognormal, band edge for \
+                adversarial).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "seeds" ] ~docv:"K" ~doc:"Number of perturbation seeds per cell (seeds 1..K).")
+  in
+  let optimizers_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "o"; "optimizers" ] ~docv:"NAME,..."
+          ~doc:"Optimizers to sweep (default: every registry entry except bruteforce).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the full report (per-seed samples included) as JSON.")
+  in
+  let run model n mode levels seeds optimizers json =
+    if seeds < 1 then `Error (false, Printf.sprintf "--seeds %d must be at least 1" seeds)
+    else
+      let known = Registry.names () in
+      match
+        Option.iter
+          (List.iter (fun o ->
+               if not (List.mem o known) then
+                 failwith
+                   (Printf.sprintf "unknown optimizer %S (known: %s)" o
+                      (String.concat ", " known))))
+          optimizers
+      with
+      | exception Failure msg -> `Error (false, msg)
+      | () -> (
+        match
+          Regret.run ~mode ?optimizers ~levels ~seeds:(List.init seeds (fun i -> i + 1)) ~n model
+        with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | report ->
+          if json then
+            print_string
+              (Blitz_util.Json.to_string ~indent:true (Regret.report_to_json report) ^ "\n")
+          else Format.printf "%a@." Regret.pp report;
+          `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "regret"
+       ~doc:"Measure plan-cost regret under cardinality-estimate error: every optimizer plans \
+             on a seeded noise-perturbed catalog and is judged under the true statistics \
+             (regret = true cost of its choice / true optimal cost)")
+    Term.(
+      ret (const run $ model_arg $ n_arg $ mode_arg $ levels_arg $ seeds_arg $ optimizers_arg
+           $ json_arg))
+
 (* ---- counters ---- *)
 
 let counters_cmd =
@@ -764,6 +895,6 @@ let counters_cmd =
 let main_cmd =
   let doc = "bushy join-order optimization with Cartesian products (Vance & Maier, SIGMOD 1996)" in
   Cmd.group (Cmd.info "blitz" ~version:"1.0.0" ~doc)
-    [ optimize_cmd; explain_cmd; compare_cmd; workload_cmd; counters_cmd ]
+    [ optimize_cmd; explain_cmd; compare_cmd; workload_cmd; regret_cmd; counters_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,59 @@
+module Relset = Blitz_bitset.Relset
+module Join_graph = Blitz_graph.Join_graph
+module Plan = Blitz_plan.Plan
+
+(* Structure-only join ordering (Simpli-Squared, arXiv 2111.00163): no
+   cardinality or selectivity is ever read, so the output depends only
+   on the join graph's shape.  The heuristic builds a left-deep vine:
+
+     1. start from a maximum-degree vertex (hubs first — in a star this
+        picks the fact table, the choice that makes every subsequent
+        join a predicate join);
+     2. repeatedly append the remaining relation with the most edges
+        into the current prefix (most-connected-next keeps intermediate
+        results predicate-constrained);
+     3. when no remaining relation connects to the prefix (disconnected
+        join graph), fall back to the highest-degree remaining vertex —
+        Cartesian products are taken as late as possible and only when
+        forced.
+
+   All ties break toward the lower relation index, so the plan is a
+   deterministic function of the graph alone. *)
+
+let order graph =
+  let n = Join_graph.n graph in
+  if n = 0 then invalid_arg "Simpli.order: empty graph";
+  let chosen = Array.make n false in
+  let edges_into_prefix = Array.make n 0 in
+  let better i j =
+    (* Is [i] a strictly better next pick than the incumbent [j]? *)
+    let ci = edges_into_prefix.(i) and cj = edges_into_prefix.(j) in
+    if ci <> cj then ci > cj
+    else
+      let di = Join_graph.degree graph i and dj = Join_graph.degree graph j in
+      if di <> dj then di > dj else i < j
+  in
+  let pick () =
+    let best = ref (-1) in
+    for i = n - 1 downto 0 do
+      if (not chosen.(i)) && (!best < 0 || better i !best) then best := i
+    done;
+    !best
+  in
+  let order = Array.make n 0 in
+  for step = 0 to n - 1 do
+    let v = pick () in
+    order.(step) <- v;
+    chosen.(v) <- true;
+    Relset.iter
+      (fun u -> if not chosen.(u) then edges_into_prefix.(u) <- edges_into_prefix.(u) + 1)
+      (Join_graph.neighbors graph v)
+  done;
+  order
+
+let optimize graph =
+  let order = order graph in
+  Array.fold_left
+    (fun acc v -> match acc with None -> Some (Plan.Leaf v) | Some p -> Some (Plan.Join (p, Plan.Leaf v)))
+    None order
+  |> Option.get

@@ -22,6 +22,7 @@ type scratch = {
   mutable perm : int array;  (* canonical position -> caller index *)
   mutable inv : int array;  (* caller index -> canonical position *)
   mutable sperm : int array;  (* shape-canonical position -> caller index *)
+  mutable sinv : int array;  (* caller index -> shape-canonical position *)
   mutable deg : int array;
   mutable cards : float array;  (* canonical order *)
   (* canonical edges, (i < j) lexicographic in canonical positions *)
@@ -45,6 +46,7 @@ let create_scratch () =
     perm = [||];
     inv = [||];
     sperm = [||];
+    sinv = [||];
     deg = [||];
     cards = [||];
     edges_i = [||];
@@ -69,6 +71,7 @@ let ensure_capacity s n =
   s.perm <- grow_int s.perm n;
   s.inv <- grow_int s.inv n;
   s.sperm <- grow_int s.sperm n;
+  s.sinv <- grow_int s.sinv n;
   s.deg <- grow_int s.deg n;
   s.cards <- grow_float s.cards n;
   s.edges_i <- grow_int s.edges_i ne;
@@ -192,6 +195,7 @@ let compute s ~model_digest:md catalog graph =
   done;
   for c = 0 to n - 1 do
     s.inv.(s.perm.(c)) <- c;
+    s.sinv.(s.sperm.(c)) <- c;
     s.cards.(c) <- card s.perm.(c)
   done;
   (* Canonical edge list: enumerate canonical-position pairs in (i, j)
@@ -232,6 +236,21 @@ let compute s ~model_digest:md catalog graph =
 let hash s = s.hash
 let shape_hash s = s.shape_hash
 let residual_ties s = s.residual_ties
+let n s = s.n
+
+(* One decade of total predicate selectivity per band.  The sum runs
+   over the full-canonical edge list, so a renamed resubmission of the
+   same problem sums bit-identical floats in bit-identical order — the
+   band is rename-invariant.  Shape-equal problems with different
+   cardinalities may order the sum differently, which can flip the
+   quantized band only at a decade boundary; a band mismatch is merely
+   an ensemble miss, never a wrong plan. *)
+let selectivity_band s =
+  let sum = ref 0.0 in
+  for e = 0 to s.edge_count - 1 do
+    sum := !sum +. Float.log10 s.edges_sel.(e)
+  done;
+  int_of_float (Float.floor !sum)
 
 type frozen = {
   f_n : int;
@@ -290,3 +309,5 @@ let same_labeling s f =
 
 let canonize_plan s plan = Plan.map_leaves (fun i -> s.inv.(i)) plan
 let rebase_plan s plan = Plan.map_leaves (fun c -> s.perm.(c)) plan
+let shape_canonize_plan s plan = Plan.map_leaves (fun i -> s.sinv.(i)) plan
+let shape_rebase_plan s plan = Plan.map_leaves (fun c -> s.sperm.(c)) plan

@@ -67,6 +67,18 @@ val shape_hash : scratch -> int
 (** Hash of the cardinality-free canonical form (edges + model digest
     only): the warm-start tier's key. *)
 
+val n : scratch -> int
+(** Relation count of the problem last computed into the scratch. *)
+
+val selectivity_band : scratch -> int
+(** Which selectivity regime the problem sits in: the floor of the sum
+    of [log10] selectivities over the canonical edge list — one decade
+    of total predicate selectivity per band ("One Join Order Does Not
+    Fit All": a single plan per shape is fragile across regimes, so
+    the cache's shape tier keeps an ensemble keyed by this).
+    Rename-invariant: a renamed resubmission sums bit-identical floats
+    in the same canonical order.  [0] for a predicate-free problem. *)
+
 val residual_ties : scratch -> bool
 (** Whether refinement left indistinguishable relations (tie-break fell
     back to original index): renamed resubmissions of such problems may
@@ -99,3 +111,13 @@ val canonize_plan : scratch -> Plan.t -> Plan.t
 val rebase_plan : scratch -> Plan.t -> Plan.t
 (** Re-index a canonical-space plan into the caller's numbering (for
     serving a hit).  [rebase_plan s (canonize_plan s p) = p]. *)
+
+val shape_canonize_plan : scratch -> Plan.t -> Plan.t
+(** Re-index a plan into {e shape}-canonical space (cardinality-free
+    labeling) — the coordinate system of the banded shape-tier
+    ensemble, stable across shape-equal problems whose cardinalities
+    differ. *)
+
+val shape_rebase_plan : scratch -> Plan.t -> Plan.t
+(** Inverse of {!shape_canonize_plan} for the current scratch:
+    [shape_rebase_plan s (shape_canonize_plan s p) = p]. *)

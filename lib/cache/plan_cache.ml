@@ -17,6 +17,10 @@ let m_rebases =
 let m_shape_hits =
   Obs.Metrics.counter ~help:"Shape-tier threshold seeds served" "blitz_cache_shape_hits_total"
 
+let m_band_hits =
+  Obs.Metrics.counter ~help:"Banded-ensemble plan seeds served by selectivity band"
+    "blitz_cache_band_hits_total"
+
 type node = {
   key : int;
   fp : Fingerprint.frozen;
@@ -59,11 +63,19 @@ let push_front sent nd =
   sent.next.prev <- nd;
   sent.next <- nd
 
+(* One ensemble member: a plan in shape-canonical index space, with
+   the cost and relation count of the problem that stored it.  The
+   cost is under the {e storing} catalog — a seed consumer must re-cost
+   under its own statistics before trusting it. *)
+type band_entry = { b_plan : Plan.t; b_cost : float; b_n : int }
+
 type shard = {
   lock : Mutex.t;
   tbl : (int, node list) Hashtbl.t;
   sent : node;  (* MRU = [sent.next], LRU tail = [sent.prev] *)
   shapes : (int, float) Hashtbl.t;  (* shape hash -> best known cost *)
+  bands : (int, (int * band_entry) list) Hashtbl.t;
+      (* shape hash -> per-selectivity-band plan ensemble *)
   budget : int;
   mutable bytes : int;
   mutable hits : int;
@@ -72,6 +84,7 @@ type shard = {
   mutable evictions : int;
   mutable rebases : int;
   mutable shape_hits : int;
+  mutable band_hits : int;
 }
 
 type t = { shards_arr : shard array; mask : int; max_bytes : int; warm_slack : float }
@@ -84,6 +97,11 @@ let warm_slack t = t.warm_slack
    distinct shapes cannot grow it without limit; dropping it loses only
    warm-start seeds, never correctness. *)
 let max_shapes_per_shard = 4096
+
+(* Ensemble width: distinct selectivity bands retained per shape.  "One
+   Join Order Does Not Fit All" finds a handful of regimes per query
+   shape; eight decades of total selectivity is generous. *)
+let max_bands_per_shape = 8
 
 let next_pow2 x =
   let r = ref 1 in
@@ -104,6 +122,7 @@ let create ?(shards = 8) ?(max_bytes = 64 * 1024 * 1024) ?(warm_slack = 2.0) () 
       tbl = Hashtbl.create 64;
       sent = make_sentinel ();
       shapes = Hashtbl.create 64;
+      bands = Hashtbl.create 64;
       budget;
       bytes = 0;
       hits = 0;
@@ -112,6 +131,7 @@ let create ?(shards = 8) ?(max_bytes = 64 * 1024 * 1024) ?(warm_slack = 2.0) () 
       evictions = 0;
       rebases = 0;
       shape_hits = 0;
+      band_hits = 0;
     }
   in
   { shards_arr = Array.init count mk; mask = count - 1; max_bytes; warm_slack }
@@ -214,6 +234,21 @@ let record_shape sh shape_key cost =
       if Hashtbl.length sh.shapes < max_shapes_per_shard then
         Hashtbl.replace sh.shapes shape_key cost
 
+let record_band sh shape_key ~band entry =
+  match Hashtbl.find_opt sh.bands shape_key with
+  | None ->
+      if Hashtbl.length sh.bands < max_shapes_per_shard then
+        Hashtbl.replace sh.bands shape_key [ (band, entry) ]
+  | Some members -> (
+      match List.assoc_opt band members with
+      | Some old ->
+          if entry.b_cost < old.b_cost then
+            Hashtbl.replace sh.bands shape_key
+              ((band, entry) :: List.remove_assoc band members)
+      | None ->
+          if List.length members < max_bands_per_shape then
+            Hashtbl.replace sh.bands shape_key ((band, entry) :: members))
+
 let shape_shard t shape_key = t.shards_arr.((shape_key lsr 1) land t.mask)
 
 let store t scratch ~optimizer ~plan ~cost ~passes ~final_threshold =
@@ -223,7 +258,12 @@ let store t scratch ~optimizer ~plan ~cost ~passes ~final_threshold =
      which may be a different shard; never hold both locks at once. *)
   let shape_key = Fingerprint.shape_hash scratch in
   let ssh = shape_shard t shape_key in
-  with_lock ssh (fun () -> record_shape ssh shape_key cost);
+  let band = Fingerprint.selectivity_band scratch in
+  let banded_plan = Fingerprint.shape_canonize_plan scratch plan in
+  let b_entry = { b_plan = banded_plan; b_cost = cost; b_n = Fingerprint.n scratch } in
+  with_lock ssh (fun () ->
+      record_shape ssh shape_key cost;
+      record_band ssh shape_key ~band b_entry);
   (* Canonize and freeze outside the lock; both only read caller state. *)
   let canonical = Fingerprint.canonize_plan scratch plan in
   let fp = Fingerprint.freeze scratch in
@@ -282,6 +322,32 @@ let shape_threshold t scratch =
       Obs.Metrics.incr m_shape_hits;
       Some (c *. t.warm_slack)
 
+let shape_seed t scratch =
+  let shape_key = Fingerprint.shape_hash scratch in
+  let band = Fingerprint.selectivity_band scratch in
+  let n = Fingerprint.n scratch in
+  let sh = shape_shard t shape_key in
+  let found =
+    with_lock sh (fun () ->
+        match Hashtbl.find_opt sh.bands shape_key with
+        | None -> None
+        | Some members -> (
+            match List.assoc_opt band members with
+            | Some e when e.b_n = n ->
+                sh.band_hits <- sh.band_hits + 1;
+                Some e
+            | Some _ | None -> None))
+  in
+  match found with
+  | None -> None
+  | Some e ->
+      Obs.Metrics.incr m_band_hits;
+      (* [b_n = n] makes the rebase total (every shape-canonical leaf is
+         below [n]); a shape-hash collision can still hand back a plan
+         for a different problem, which the consumer's re-costing and
+         the threshold driver's rescue pass absorb. *)
+      Some (Fingerprint.shape_rebase_plan scratch e.b_plan, e.b_cost)
+
 let resident_bytes t =
   Array.fold_left
     (fun acc sh -> acc + with_lock sh (fun () -> sh.bytes))
@@ -302,6 +368,7 @@ type stats = {
   evictions : int;
   rebases : int;
   shape_hits : int;
+  band_hits : int;
   entries : int;
   bytes : int;
 }
@@ -317,6 +384,7 @@ let stats t =
             evictions = acc.evictions + sh.evictions;
             rebases = acc.rebases + sh.rebases;
             shape_hits = acc.shape_hits + sh.shape_hits;
+            band_hits = acc.band_hits + sh.band_hits;
             entries =
               acc.entries + Hashtbl.fold (fun _ nodes n -> n + List.length nodes) sh.tbl 0;
             bytes = acc.bytes + sh.bytes;
@@ -328,6 +396,7 @@ let stats t =
       evictions = 0;
       rebases = 0;
       shape_hits = 0;
+      band_hits = 0;
       entries = 0;
       bytes = 0;
     }
@@ -339,6 +408,7 @@ let clear t =
       with_lock sh (fun () ->
           Hashtbl.reset sh.tbl;
           Hashtbl.reset sh.shapes;
+          Hashtbl.reset sh.bands;
           sh.bytes <- 0;
           let s = sh.sent in
           s.prev <- s;

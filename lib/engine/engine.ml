@@ -6,6 +6,7 @@ module Counters = Blitz_core.Counters
 module Blitzsplit = Blitz_core.Blitzsplit
 module Pool = Blitz_parallel.Pool
 module Obs = Blitz_obs.Obs
+module Plan = Blitz_plan.Plan
 module Plan_cache = Blitz_cache.Plan_cache
 module Fingerprint = Blitz_cache.Fingerprint
 
@@ -184,21 +185,56 @@ let run_entry t (entry : Registry.entry) ~optimizer ?interrupt ?threshold ?cold_
     match hit with
     | Some h -> hit_outcome ctr h
     | None ->
+        (* Warm-start ladder for the thresholded driver.  Best seed: a
+           banded-ensemble plan for this shape and selectivity regime,
+           re-costed under the {e current} catalog — a genuine upper
+           bound, so a first-pass threshold a whisker above it cannot
+           fail for numeric reasons, and the rescue pass still
+           guarantees the true optimum if the seed misleads.  Fallback:
+           the shape tier's best-known-cost threshold.  Either way the
+           cold result is what gets stored, so warmth never changes
+           what the cache learns. *)
+        let banded_bound () =
+          match Plan_cache.shape_seed c t.scratch with
+          | None -> None
+          | Some (plan, _stored_cost) ->
+              let n = Catalog.n problem.Registry.catalog in
+              let structurally_ok =
+                Plan.leaf_count plan = n
+                && (match Plan.validate ~n plan with Ok () -> true | Error _ -> false)
+              in
+              if not structurally_ok then None
+              else
+                let g =
+                  match problem.Registry.graph with
+                  | Some g -> g
+                  | None -> Join_graph.no_predicates ~n
+                in
+                let ub = Plan.cost t.model problem.Registry.catalog g plan in
+                if Float.is_finite ub && ub > 0.0 then Some (ub *. (1.0 +. 1e-9)) else None
+        in
         let warm =
-          if String.equal optimizer "thresholded" then Plan_cache.shape_threshold c t.scratch
+          if String.equal optimizer "thresholded" then
+            match banded_bound () with
+            | Some w -> Some (w, "plan cache: banded warm-start")
+            | None -> (
+                match Plan_cache.shape_threshold c t.scratch with
+                | Some w -> Some (w, "plan cache: warm-start")
+                | None -> None)
           else None
         in
         let o =
           match warm with
           | None -> entry.Registry.optimize (cold ()) problem
-          | Some w -> entry.Registry.optimize (ctx ?interrupt ~threshold:w ~counters:ctr t) problem
+          | Some (w, _) ->
+              entry.Registry.optimize (ctx ?interrupt ~threshold:w ~counters:ctr t) problem
         in
         (match o.Registry.plan with
         | Some plan when Float.is_finite o.Registry.cost ->
             Plan_cache.store c t.scratch ~optimizer ~plan ~cost:o.Registry.cost
               ~passes:o.Registry.passes ~final_threshold:o.Registry.final_threshold
         | _ -> ());
-        if Option.is_some warm then append_note "plan cache: warm-start" o else o
+        (match warm with Some (_, note) -> append_note note o | None -> o)
 
 let optimize ?(optimizer = "exact") ?interrupt ?threshold t problem =
   if t.closed then invalid_arg "Engine.optimize: session is closed";

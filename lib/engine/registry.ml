@@ -53,6 +53,7 @@ type caps = {
   parallelizable : bool;
   exact : bool;
   deadline_exempt : bool;
+  stats_free : bool;
 }
 
 type entry = {
@@ -93,6 +94,7 @@ let dp_caps =
     parallelizable = true;
     exact = true;
     deadline_exempt = false;
+    stats_free = false;
   }
 
 let tablefree_caps =
@@ -103,6 +105,7 @@ let tablefree_caps =
     parallelizable = false;
     exact = false;
     deadline_exempt = false;
+    stats_free = false;
   }
 
 (* ---- the exact tier: blitzsplit, sequential or rank-parallel ---- *)
@@ -236,6 +239,19 @@ let run_volcano ctx p =
          stats.B.Volcano.expressions)
     ~plan:(Some plan) ~cost ()
 
+let run_simpli ctx p =
+  let g = graph_of p in
+  let plan = B.Simpli.optimize g in
+  (* The order is chosen from graph structure alone; the reported cost
+     is a re-costing under the session model and whatever catalog the
+     caller supplied — possibly fabricated, which is exactly when this
+     tier earns its keep. *)
+  basic
+    ~note:"estimate-free structural order re-costed under the session model"
+    ~plan:(Some plan)
+    ~cost:(Plan.cost ctx.model p.catalog g plan)
+    ()
+
 let run_dpccp ctx p =
   let r = B.Dpccp.optimize ctx.model p.catalog (graph_of p) in
   basic ~plan:r.B.Dpccp.plan ~cost:r.B.Dpccp.cost ()
@@ -313,6 +329,12 @@ let () =
         summary = "greedy min-cardinality pairing (the terminal fallback)";
         caps = { tablefree_caps with deadline_exempt = true };
         optimize = run_greedy;
+      };
+      {
+        name = "simpli-squared";
+        summary = "estimate-free structural left-deep order (reads no statistics)";
+        caps = { tablefree_caps with deadline_exempt = true; stats_free = true };
+        optimize = run_simpli;
       };
       {
         name = "dpsize";

@@ -89,6 +89,11 @@ type caps = {
   deadline_exempt : bool;
       (** Cheap enough to run even on an expired budget (greedy — the
           cascade's terminal guarantee). *)
+  stats_free : bool;
+      (** Reads no cardinalities or selectivities: the plan depends on
+          the join graph's shape alone, so the method survives a
+          corrupted or fabricated catalog ([simpli-squared] — the
+          cascade's estimate-free bottom tier). *)
 }
 
 type entry = {
@@ -104,10 +109,10 @@ type entry = {
 val register : entry -> unit
 (** Add an optimizer.  Raises [Invalid_argument] on a duplicate name.
     The built-in entries are registered at module initialization:
-    [exact], [thresholded], [hybrid], [ikkbz], [greedy], [dpsize],
-    [dpsize-no-products], [leftdeep], [leftdeep-deferred],
-    [iterative-improvement], [simulated-annealing], [random-probe],
-    [volcano], [dpccp], [bruteforce]. *)
+    [exact], [thresholded], [hybrid], [ikkbz], [greedy],
+    [simpli-squared], [dpsize], [dpsize-no-products], [leftdeep],
+    [leftdeep-deferred], [iterative-improvement], [simulated-annealing],
+    [random-probe], [volcano], [dpccp], [bruteforce]. *)
 
 val all : unit -> entry list
 (** In registration order. *)

@@ -26,6 +26,7 @@ type fault =
   | Edge_endpoint_wild of int * int
   | Name_cleared of int
   | Name_duplicated of int
+  | Catalog_scrambled
 
 let fault_message = function
   | Card_nan i -> Printf.sprintf "cardinality of relation %d set to NaN" i
@@ -40,8 +41,23 @@ let fault_message = function
   | Edge_endpoint_wild (i, j) -> Printf.sprintf "edge (%d, %d) rewired out of range" i j
   | Name_cleared i -> Printf.sprintf "name of relation %d cleared" i
   | Name_duplicated i -> Printf.sprintf "name of relation %d duplicated from its neighbor" i
+  | Catalog_scrambled -> "every cardinality in the catalog replaced with garbage"
 
 let pp_fault ppf f = Format.pp_print_string ppf (fault_message f)
+
+(* The whole-catalog fault: every cardinality becomes one of the four
+   invalid shapes.  This is the corruption Sanitize cannot repair
+   honestly — it can only fabricate — and hence the fault that
+   exercises the degrade-to-estimate-free path. *)
+let garbage_card rng =
+  match Rng.int rng 4 with
+  | 0 -> Float.nan
+  | 1 -> Float.infinity
+  | 2 -> Float.neg_infinity
+  | _ -> -.(1.0 +. Rng.float rng 100.0)
+
+let scramble_cards rng input =
+  { input with relations = List.map (fun (nm, _) -> (nm, garbage_card rng)) input.relations }
 
 let set_nth l n f = List.mapi (fun i x -> if i = n then f x else x) l
 
@@ -53,7 +69,7 @@ let inject rng input =
   let n_edge = List.length input.edges in
   let rel () = Rng.int rng n_rel in
   let edge () = Rng.int rng n_edge in
-  match Rng.int rng 12 with
+  match Rng.int rng 13 with
   | 0 ->
     let r = rel () in
     Some
@@ -117,6 +133,7 @@ let inject rng input =
     Some
       ( { input with relations = set_nth input.relations r (fun (_, c) -> (prev_name, c)) },
         Name_duplicated r )
+  | 12 -> Some (scramble_cards rng input, Catalog_scrambled)
   | _ -> None
 
 let corrupt ~seed ?faults input =
@@ -131,3 +148,8 @@ let corrupt ~seed ?faults input =
       | None -> go input applied remaining (attempts - 1)
   in
   go input [] faults (faults * 20)
+
+let scramble_catalog ~seed input =
+  if List.length input.relations = 0 then invalid_arg "Chaos.scramble_catalog: empty input";
+  let rng = Rng.create ~seed in
+  (scramble_cards rng input, [ Catalog_scrambled ])

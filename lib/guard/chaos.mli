@@ -33,6 +33,11 @@ type fault =
   | Edge_endpoint_wild of int * int
   | Name_cleared of int
   | Name_duplicated of int
+  | Catalog_scrambled
+      (** Every cardinality replaced with NaN/±infinity/negative garbage
+          — the corruption {!Sanitize} can only paper over by
+          fabricating substitutes, so it forces the Guard cascade onto
+          the estimate-free tier. *)
 
 val fault_message : fault -> string
 val pp_fault : Format.formatter -> fault -> unit
@@ -43,3 +48,10 @@ val corrupt : seed:int -> ?faults:int -> input -> input * fault list
     done.  Faults compound: a later fault sees the earlier ones'
     output.  Raises [Invalid_argument] on an input with no relations
     (nothing to corrupt). *)
+
+val scramble_catalog : seed:int -> input -> input * fault list
+(** Apply exactly the {!constructor-Catalog_scrambled} fault: every
+    cardinality becomes seeded garbage, names and edges untouched.  The
+    deterministic way to demonstrate the degrade-to-estimate-free path
+    (the CLI's [--scramble-catalog] uses it).  Raises
+    [Invalid_argument] on an input with no relations. *)

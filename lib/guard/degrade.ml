@@ -9,7 +9,7 @@ module Registry = Blitz_engine.Registry
 module B = Blitz_baselines
 module Obs = Blitz_obs.Obs
 
-type tier = Exact | Thresholded | Hybrid_windows | Ikkbz | Greedy
+type tier = Exact | Thresholded | Hybrid_windows | Ikkbz | Greedy | Estimate_free
 
 (* Tier names double as registry keys: the cascade no longer owns any
    algorithm invocation code, it sequences registry entries. *)
@@ -19,10 +19,19 @@ let tier_name = function
   | Hybrid_windows -> "hybrid"
   | Ikkbz -> "ikkbz"
   | Greedy -> "greedy"
+  | Estimate_free -> "simpli-squared"
 
 let tier_entry tier = Registry.find_exn (tier_name tier)
 
-let default_cascade = [ Exact; Thresholded; Hybrid_windows; Ikkbz; Greedy ]
+let default_cascade = [ Exact; Thresholded; Hybrid_windows; Ikkbz; Greedy; Estimate_free ]
+
+(* When Sanitize had to fabricate cardinalities the cost-based tiers
+   would optimize placeholder numbers — garbage in, garbage out, at
+   full exponential price.  Structure is all that genuinely survived
+   the corruption, so the estimate-free tier leads; greedy remains as
+   the (deadline-exempt) second opinion should the registry entry ever
+   be displaced. *)
+let fabricated_cascade = [ Estimate_free; Greedy ]
 
 type skip_reason =
   | Too_large of { n : int; limit : int }

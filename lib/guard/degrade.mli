@@ -6,16 +6,19 @@
     module generalizes that stance to the whole optimizer portfolio.
     Tiers are tried in order — exact blitzsplit, the multi-pass
     threshold driver, the Section 7 hybrid (DP windows inside randomized
-    search), IKKBZ for tree queries, and finally the greedy heuristic —
-    and the first to produce a plan wins.  Every decision is recorded as
+    search), IKKBZ for tree queries, the greedy heuristic, and finally
+    the estimate-free Simpli-Squared structural order — and the first to
+    produce a plan wins.  Every decision is recorded as
     {e provenance}: which tier produced the plan, why each earlier tier
     was skipped (table too large for the memory ceiling, algorithm not
     applicable, deadline already gone) or aborted (deadline fired
     mid-search), and how much wall clock each consumed.
 
-    The final tier, greedy, is [O(n^3)] with no [2^n] table and runs
-    even with an expired deadline, so a sanitized input always yields a
-    plan. *)
+    Greedy is [O(n^3)] with no [2^n] table and runs even with an
+    expired deadline, so a sanitized input always yields a plan; the
+    estimate-free tier below it reads no statistics at all, covering
+    the one failure mode greedy shares with every cost-based method —
+    a catalog whose numbers are fabricated. *)
 
 module Catalog = Blitz_catalog.Catalog
 module Join_graph = Blitz_graph.Join_graph
@@ -32,11 +35,21 @@ type tier =
   | Hybrid_windows  (** Section 7 hybrid: anytime, any [n]. *)
   | Ikkbz  (** Tree queries only; re-costed under the session model. *)
   | Greedy  (** Terminal guarantee; always runs. *)
+  | Estimate_free
+      (** Simpli-Squared structural order: reads no statistics, so it
+          works even when the catalog's numbers are fabricated.
+          Deadline-exempt, like greedy. *)
 
 val tier_name : tier -> string
 
 val default_cascade : tier list
-(** [Exact; Thresholded; Hybrid_windows; Ikkbz; Greedy]. *)
+(** [Exact; Thresholded; Hybrid_windows; Ikkbz; Greedy; Estimate_free]. *)
+
+val fabricated_cascade : tier list
+(** [Estimate_free; Greedy] — the cascade for catalogs whose
+    cardinalities {!Sanitize} had to fabricate: cost-based tiers would
+    optimize placeholder numbers at exponential price, so structure-only
+    planning leads (see {!Sanitize.fabricated_stats}). *)
 
 type skip_reason =
   | Too_large of { n : int; limit : int }  (** Beyond [Dp_table.max_relations]. *)
@@ -78,7 +91,8 @@ val eligibility :
     state; otherwise why it must be skipped.  The checks are read off
     the tier's registry-entry capability metadata ([Blitz_engine]) —
     size cap, table footprint, tree-only, deadline exemption — not
-    duplicated here.  {!Greedy} is always eligible (deadline-exempt).
+    duplicated here.  {!Greedy} and {!Estimate_free} are always
+    eligible (deadline-exempt).
     With [arena] the memory ceiling charges the session's would-be
     resident high-water mark ({!Arena.bytes_after}) rather than the
     per-call table size; [cache_bytes] (a resident plan-cache footprint,

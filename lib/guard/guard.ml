@@ -85,6 +85,16 @@ let cache_record ~session ~repairs model catalog graph (plan : Plan.t)
    rather than unwinding through the caller. *)
 let drive ~budget ~cascade ~seed ~num_domains ~session model catalog graph repairs =
   Budget.start budget;
+  (* Fabricated cardinalities (Sanitize defaulted them) mean every
+     cost-based tier would optimize placeholder numbers; unless the
+     caller pinned a cascade explicitly, go straight to the
+     estimate-free tiers. *)
+  let cascade =
+    match cascade with
+    | Some _ -> cascade
+    | None when Sanitize.fabricated_stats repairs -> Some Degrade.fabricated_cascade
+    | None -> None
+  in
   match cache_lookup ~session ~repairs model catalog graph with
   | Some (tier, hit) ->
     let cost = hit.Blitz_engine.Engine.Plan_cache.cost in

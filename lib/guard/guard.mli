@@ -8,9 +8,14 @@
     The pipeline is: {!Sanitize} validates (and under a lenient policy
     repairs) the raw statistics; {!Budget} arms the wall-clock deadline
     and checks the DP-table memory ceiling before allocation; {!Degrade}
-    walks the tier cascade — exact, thresholded, hybrid, IKKBZ, greedy —
-    returning the first plan produced together with full provenance.
-    {!Chaos} exists to attack this contract in tests. *)
+    walks the tier cascade — exact, thresholded, hybrid, IKKBZ, greedy,
+    estimate-free — returning the first plan produced together with
+    full provenance.  When the sanitizer had to {e fabricate}
+    cardinalities ({!Sanitize.fabricated_stats}) and the caller pinned
+    no cascade, the cost-based tiers are bypassed entirely in favour of
+    {!Degrade.fabricated_cascade} — structure-only planning is the only
+    honest option on made-up numbers.  {!Chaos} exists to attack this
+    contract in tests. *)
 
 module Catalog = Blitz_catalog.Catalog
 module Join_graph = Blitz_graph.Join_graph
@@ -36,7 +41,8 @@ type outcome = {
 type error =
   | Invalid_input of Sanitize.issue list  (** Every irreparable defect, not just the first. *)
   | No_tier_produced of Degrade.attempt list
-      (** Possible only with a custom cascade omitting the greedy tier. *)
+      (** Possible only with a custom cascade omitting the
+          deadline-exempt tiers (greedy, estimate-free). *)
   | Internal of string  (** An escaped exception, demoted to data. *)
 
 val error_message : error -> string

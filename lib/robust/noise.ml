@@ -1,0 +1,49 @@
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Rng = Blitz_util.Rng
+
+type mode = Lognormal | Adversarial
+
+let mode_name = function Lognormal -> "lognormal" | Adversarial -> "adversarial"
+
+let mode_of_string = function
+  | "lognormal" -> Ok Lognormal
+  | "adversarial" -> Ok Adversarial
+  | s -> Error (Printf.sprintf "unknown noise mode %S (expected lognormal or adversarial)" s)
+
+(* Both the catalog and the join-graph constructors demand positive
+   finite numbers; the clamps keep any level's output constructible
+   without ever firing at the levels the harness sweeps (a few decades
+   around real statistics). *)
+let clamp_card c = Float.max 1e-6 (Float.min 1e30 c)
+let clamp_sel s = Float.max 1e-30 s (* above-one handled by `Clamp *)
+
+(* One multiplicative error draw.  Lognormal: 10^(level * N(0,1)), the
+   standard model for cardinality-estimate error measured in orders of
+   magnitude (level = the standard deviation in decades).  Adversarial:
+   the band edge 10^(+-level), each direction a fair coin — the worst
+   case a bounded estimator can be wrong by. *)
+let factor mode level rng =
+  match mode with
+  | Lognormal -> Float.pow 10.0 (level *. Rng.gaussian rng)
+  | Adversarial -> Float.pow 10.0 (if Rng.bool rng then level else -.level)
+
+let perturb ~mode ~level ~seed catalog graph =
+  if not (Float.is_finite level) || level < 0.0 then
+    invalid_arg "Noise.perturb: level must be finite and >= 0";
+  let rng = Rng.create ~seed in
+  let names = Catalog.names catalog in
+  let cards = Catalog.cards catalog in
+  (* Draw order is fixed — cards by index, then edges in the graph's
+     canonical (i < j) lexicographic order — so equal seeds perturb
+     equal inputs identically, element for element. *)
+  let relations =
+    Array.to_list
+      (Array.mapi (fun i name -> (name, clamp_card (cards.(i) *. factor mode level rng))) names)
+  in
+  let edges =
+    List.map
+      (fun (i, j, sel) -> (i, j, clamp_sel (sel *. factor mode level rng)))
+      (Join_graph.edges graph)
+  in
+  (Catalog.of_list relations, Join_graph.of_edges ~above_one:`Clamp ~n:(Array.length names) edges)

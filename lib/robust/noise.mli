@@ -1,0 +1,35 @@
+(** Seeded multiplicative error models for optimizer statistics.
+
+    The paper's Section 6 methodology hands the optimizer {e true}
+    cardinalities and selectivities; production optimizers live on
+    estimates that are wrong by orders of magnitude.  This module
+    manufactures that condition deterministically: every cardinality
+    and selectivity is multiplied by an error factor drawn from a
+    SplitMix64-seeded stream, so a regret measurement is reproducible
+    from [(mode, level, seed)] alone. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+
+type mode =
+  | Lognormal
+      (** Factor [10^(level * g)], [g ~ N(0,1)]: estimate error
+          measured in decades, the standard model.  [level] is the
+          standard deviation in orders of magnitude. *)
+  | Adversarial
+      (** Factor [10^(+-level)], direction by fair coin: the edge of
+          the error band a bounded estimator can reach. *)
+
+val mode_name : mode -> string
+val mode_of_string : string -> (mode, string) result
+
+val perturb :
+  mode:mode -> level:float -> seed:int -> Catalog.t -> Join_graph.t -> Catalog.t * Join_graph.t
+(** Perturb every cardinality and selectivity.  Deterministic: equal
+    [(mode, level, seed)] on equal inputs yield byte-identical outputs
+    (draws run cards-by-index then edges in the graph's canonical
+    order).  [level = 0] is the identity (factor exactly 1).  Outputs
+    are clamped into constructible ranges (positive finite cards,
+    selectivities clamped above 1 to 1 by the graph's [`Clamp]
+    policy).  Raises [Invalid_argument] on a negative or non-finite
+    [level]. *)

@@ -41,6 +41,17 @@ let log_uniform t ~lo ~hi =
   if lo >= hi then invalid_arg "Rng.log_uniform: lo must be < hi";
   exp (log lo +. float t (log hi -. log lo))
 
+let gaussian t =
+  (* Box–Muller, discarding the second variate: one extra uniform per
+     draw is cheaper than threading cached state through [copy]. *)
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

@@ -43,6 +43,10 @@ val log_uniform : t -> lo:float -> hi:float -> float
     both bounds must be positive.  Used for cardinalities, which the paper
     varies on a logarithmic axis. *)
 
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller).  Used by the robustness
+    harness for log-normal cardinality noise. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
 

@@ -13,7 +13,7 @@ plan is byte-identical to an uncached run:
   cost:       84.6153
   cardinality:100
   shape:      bushy, 0 cartesian product(s)
-  cache:      3 hit(s) (0 rebased), 1 miss(es), 1 insertion(s), 0 shape seed(s)
+  cache:      3 hit(s) (0 rebased), 1 miss(es), 1 insertion(s), 0 shape seed(s), 0 band seed(s)
 
   $ blitz optimize -n 6 --topology chain --mean-card 100 --variability 0.5 | grep -E '^plan:|^cost:'
   plan:       ((R1 x (R0 x R3)) x (R4 x (R2 x R5)))
@@ -40,7 +40,7 @@ tier lookups):
   tier:       exact (plan served from session cache)
   provenance:
     exact: produced plan (cost 84.6153) in Xms
-  cache:      2 hit(s) (0 rebased), 2 miss(es), 1 insertion(s), 0 shape seed(s)
+  cache:      2 hit(s) (0 rebased), 2 miss(es), 1 insertion(s), 0 shape seed(s), 0 band seed(s)
 
 explain shows cache provenance twice over: the outcome's note names the
 hit, and the metric deltas carry the exact hit/miss/insertion counts:
@@ -48,7 +48,7 @@ hit, and the metric deltas carry the exact hit/miss/insertion counts:
   $ blitz explain -n 5 --topology chain --mean-card 100 --variability 0.5 --cache --repeat 3 > explain.txt 2>&1
   $ grep -E '^note:|^cache:' explain.txt
   note:       plan cache: hit
-  cache:      2 hit(s) (0 rebased), 1 miss(es), 1 insertion(s), 0 shape seed(s)
+  cache:      2 hit(s) (0 rebased), 1 miss(es), 1 insertion(s), 0 shape seed(s), 0 band seed(s)
   $ grep -E '^  blitz_cache' explain.txt
     blitz_cache_hits_total 2
     blitz_cache_insertions_total 1

@@ -29,4 +29,5 @@ let () =
       ("stats", Test_stats.suite);
       ("sql", Test_sql.suite);
       ("obs", Test_obs.suite);
+      ("robust", Test_robust.suite);
     ]

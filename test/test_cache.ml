@@ -351,10 +351,17 @@ let test_shape_threshold () =
   | None -> Alcotest.fail "shape tier missed");
   Alcotest.(check int) "shape hit counted" 1 (Plan_cache.stats cache).Plan_cache.shape_hits
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
 let test_engine_warm_start () =
   (* Through the engine: a thresholded run on a shape-hit miss is
-     warm-started, notes it, and still returns the bit-identical
-     optimum (the Section 6.4 escalation-plus-rescue contract). *)
+     warm-started from the banded ensemble (the stored plan re-costed
+     under the new statistics bounds the first pass), notes it, and
+     still returns the bit-identical optimum (the Section 6.4
+     escalation-plus-rescue contract). *)
   let model = Cost_model.kdnl in
   let rng = Rng.create ~seed:99 in
   let catalog = random_catalog rng ~n:8 ~lo:10.0 ~hi:1e4 in
@@ -371,21 +378,99 @@ let test_engine_warm_start () =
         Engine.optimize ~optimizer:"thresholded" s jittered)
   in
   let cold = Engine.with_session ~model (fun s -> Engine.optimize ~optimizer:"thresholded" s jittered) in
-  let contains hay needle =
-    let nl = String.length needle and hl = String.length hay in
-    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
-    scan 0
-  in
   (match warm.Registry.note with
   | Some note ->
-    Alcotest.(check bool) "outcome notes the warm-start" true
-      (contains note "plan cache: warm-start")
+    Alcotest.(check bool) "outcome notes the banded warm-start" true
+      (contains note "plan cache: banded warm-start")
   | None -> Alcotest.fail "warm-started run carries no note");
-  Alcotest.(check int) "one shape seed served" 1 (Plan_cache.stats cache).Plan_cache.shape_hits;
+  Alcotest.(check int) "one band seed served" 1 (Plan_cache.stats cache).Plan_cache.band_hits;
   Alcotest.(check bool) "warm-started cost bit-identical to cold" true
     (same_float warm.Registry.cost cold.Registry.cost);
   Alcotest.(check bool) "warm-started plan identical to cold" true
     (Plan.equal (plan_of warm) (plan_of cold))
+
+(* {1 The banded ensemble} *)
+
+let test_banded_seed_roundtrip () =
+  (* Store under one catalog, seed a shape-equal problem with different
+     cardinalities: the ensemble returns a structurally valid plan for
+     the caller's labeling plus the STORING cost — which the consumer
+     must re-cost, and the engine does. *)
+  let model = Cost_model.kdnl in
+  let cache = Plan_cache.create () in
+  let s = fingerprint ~model base_catalog (Some base_graph) in
+  Alcotest.(check bool) "empty ensemble has no seed" true (Plan_cache.shape_seed cache s = None);
+  let stored_plan = balanced_plan 6 in
+  Plan_cache.store cache s ~optimizer:"thresholded"
+    ~plan:stored_plan ~cost:42.0 ~passes:1 ~final_threshold:infinity;
+  let cards = Array.map (fun c -> c *. 1.7) (Catalog.cards base_catalog) in
+  let jittered = Catalog.of_cards cards in
+  let s' = fingerprint ~model jittered (Some base_graph) in
+  (match Plan_cache.shape_seed cache s' with
+  | None -> Alcotest.fail "banded ensemble missed a shape-equal problem"
+  | Some (plan, cost) ->
+    Alcotest.(check bool) "stored cost returned verbatim" true (same_float cost 42.0);
+    Alcotest.(check bool) "seed plan valid for the caller" true
+      (match Plan.validate ~n:6 plan with Ok () -> true | Error _ -> false);
+    (* Same scratch labeling as the store: the seed is the stored plan. *)
+    (match Plan_cache.shape_seed cache s with
+    | Some (p, _) -> Alcotest.(check bool) "identity rebase returns the plan" true (Plan.equal p stored_plan)
+    | None -> Alcotest.fail "identity lookup missed"));
+  Alcotest.(check int) "band hits counted" 2 (Plan_cache.stats cache).Plan_cache.band_hits;
+  Plan_cache.clear cache;
+  Alcotest.(check bool) "clear drops the ensemble" true (Plan_cache.shape_seed cache s = None)
+
+let test_banded_keeps_cheapest_per_band () =
+  (* Two stores of the same shape and band: the ensemble keeps the
+     cheaper member. *)
+  let model = Cost_model.kdnl in
+  let cache = Plan_cache.create () in
+  let s = fingerprint ~model base_catalog (Some base_graph) in
+  Plan_cache.store cache s ~optimizer:"exact" ~plan:(balanced_plan 6) ~cost:50.0 ~passes:1
+    ~final_threshold:infinity;
+  let cards = Array.map (fun c -> c *. 3.1) (Catalog.cards base_catalog) in
+  let s' = fingerprint ~model (Catalog.of_cards cards) (Some base_graph) in
+  Plan_cache.store cache s' ~optimizer:"exact" ~plan:(balanced_plan 6) ~cost:20.0 ~passes:1
+    ~final_threshold:infinity;
+  (match Plan_cache.shape_seed cache s with
+  | Some (_, cost) -> Alcotest.(check bool) "cheaper member wins" true (same_float cost 20.0)
+  | None -> Alcotest.fail "ensemble missed");
+  (* A worse later store must not displace it. *)
+  Plan_cache.store cache s ~optimizer:"dpsize" ~plan:(balanced_plan 6) ~cost:90.0 ~passes:1
+    ~final_threshold:infinity;
+  match Plan_cache.shape_seed cache s with
+  | Some (_, cost) -> Alcotest.(check bool) "worse store ignored" true (same_float cost 20.0)
+  | None -> Alcotest.fail "ensemble missed after refresh"
+
+let test_banded_warm_start_qcheck =
+  (* The headline safety property, ISSUE acceptance: a banded warm
+     start never changes the answer.  Random problem, random
+     cardinality jitter (shape-preserving), any domain count: the
+     warm-started thresholded run is bit-identical to a cold session
+     on the jittered problem. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:15 ~name:"banded warm-starts are bit-identical to cold runs"
+       ~print:problem_print (problem_gen ~max_n:8) (fun p ->
+         let rng = Rng.create ~seed:(p.seed + 31) in
+         let jitter = Array.map (fun c -> c *. Rng.log_uniform rng ~lo:0.2 ~hi:5.0)
+             (Catalog.cards p.catalog) in
+         let base = Registry.problem ~graph:p.graph p.catalog in
+         let jittered = Registry.problem ~graph:p.graph (Catalog.of_cards jitter) in
+         List.for_all
+           (fun num_domains ->
+             let cache = Plan_cache.create () in
+             let warm =
+               Engine.with_session ~model:p.model ~num_domains ~cache (fun s ->
+                   ignore (Engine.optimize ~optimizer:"thresholded" s base);
+                   Engine.optimize ~optimizer:"thresholded" s jittered)
+             in
+             let cold =
+               Engine.with_session ~model:p.model ~num_domains (fun s ->
+                   Engine.optimize ~optimizer:"thresholded" s jittered)
+             in
+             same_float warm.Registry.cost cold.Registry.cost
+             && Plan.equal (plan_of warm) (plan_of cold))
+           domain_axis))
 
 (* {1 Guard and budget integration} *)
 
@@ -458,6 +543,10 @@ let suite =
     Alcotest.test_case "per-optimizer keys" `Quick test_optimizer_keys_are_distinct;
     Alcotest.test_case "shape-tier threshold seeds" `Quick test_shape_threshold;
     Alcotest.test_case "engine warm-start" `Quick test_engine_warm_start;
+    Alcotest.test_case "banded ensemble round-trip" `Quick test_banded_seed_roundtrip;
+    Alcotest.test_case "banded ensemble keeps the cheapest member" `Quick
+      test_banded_keeps_cheapest_per_band;
+    test_banded_warm_start_qcheck;
     Alcotest.test_case "guard serves clean-path hits" `Quick test_guard_serves_from_cache;
     Alcotest.test_case "guard bypasses on repairs" `Quick test_guard_bypasses_on_repairs;
     Alcotest.test_case "eligibility charges cache bytes" `Quick test_eligibility_charges_cache_bytes;

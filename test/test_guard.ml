@@ -70,12 +70,45 @@ let test_sanitize_strict_rejects () =
       (String.concat "; " (List.map Sanitize.issue_message issues))
 
 let test_sanitize_collects_all_errors () =
-  (* Relation defects are irreparable under any policy, and ALL of them
-     are reported — not just the first. *)
+  (* Under the strict policy every relation defect is an error, and ALL
+     of them are reported — not just the first. *)
   let relations = [ ("a", Float.nan); ("", 20.0); ("c", -3.0) ] in
-  match Sanitize.check ~relations ~edges:[] () with
+  match Sanitize.check ~policy:Sanitize.strict ~relations ~edges:[] () with
   | Ok _ -> Alcotest.fail "expected rejection"
   | Error issues -> Alcotest.(check int) "all three defects reported" 3 (List.length issues)
+
+let test_sanitize_defaults_cardinalities () =
+  (* Lenient mode keeps a corrupted catalog plannable: invalid
+     cardinalities become the geometric mean of the valid ones, each
+     substitution recorded as a fabricated-statistics repair.  Name
+     defects stay irreparable under any policy. *)
+  let relations = [ ("a", Float.nan); ("b", 20.0); ("c", -3.0); ("d", 5.0) ] in
+  (match Sanitize.check ~relations ~edges:[ (0, 1, 0.5) ] () with
+  | Error issues ->
+    Alcotest.failf "expected repairs, got errors: %s"
+      (String.concat "; " (List.map Sanitize.issue_message issues))
+  | Ok clean ->
+    let defaulted =
+      List.filter_map
+        (function Sanitize.Cardinality_defaulted { name; substitute; _ } -> Some (name, substitute) | _ -> None)
+        clean.Sanitize.repairs
+    in
+    Alcotest.(check (list (pair string (float 1e-9))))
+      "both bad cards defaulted to the geometric mean of the valid ones"
+      [ ("a", 10.0); ("c", 10.0) ]
+      defaulted;
+    check_float "substitute installed in the catalog" 10.0 (Catalog.card clean.Sanitize.catalog 0);
+    check_float "valid card untouched" 20.0 (Catalog.card clean.Sanitize.catalog 1);
+    Alcotest.(check bool) "repairs are fabricated stats" true
+      (Sanitize.fabricated_stats clean.Sanitize.repairs));
+  (* With no valid cardinality at all, the substitute falls back to 1. *)
+  (match Sanitize.check ~relations:[ ("a", Float.infinity); ("b", 0.0) ] ~edges:[] () with
+  | Error _ -> Alcotest.fail "all-invalid catalog must still be repairable"
+  | Ok clean ->
+    check_float "fallback substitute is 1" 1.0 (Catalog.card clean.Sanitize.catalog 0));
+  (* Edge repairs alone are honest — not fabricated statistics. *)
+  Alcotest.(check bool) "clamp is not fabricated" false
+    (Sanitize.fabricated_stats [ Sanitize.Selectivity_above_one { i = 0; j = 1; sel = 1.5 } ])
 
 (* ---- the degradation cascade ---- *)
 
@@ -207,6 +240,41 @@ let test_chaos_deterministic () =
   in
   Alcotest.(check bool) "seeds explore different corruptions" true distinct
 
+let test_scrambled_catalog_degrades_to_estimate_free () =
+  (* The corruption Sanitize cannot honestly repair: every cardinality
+     is garbage, so the substitutes are fabricated and the guard must
+     bypass the cost-based tiers for the estimate-free one.  The plan is
+     still valid, and its provenance says where it came from. *)
+  let catalog, graph = topology_problem ~n:8 Topology.Chain in
+  let input = Chaos.input_of catalog graph in
+  let corrupted, faults = Chaos.scramble_catalog ~seed:7 input in
+  Alcotest.(check bool) "scramble reports its fault" true (faults = [ Chaos.Catalog_scrambled ]);
+  List.iter
+    (fun (_, card) ->
+      Alcotest.(check bool) "every cardinality is garbage" true
+        (Float.is_nan card || not (Float.is_finite card) || card <= 0.0))
+    corrupted.Chaos.relations;
+  match
+    Guard.optimize_input Cost_model.kdnl ~relations:corrupted.Chaos.relations
+      ~edges:corrupted.Chaos.edges ()
+  with
+  | Error e -> Alcotest.failf "guard failed on scrambled catalog: %s" (Guard.error_message e)
+  | Ok o ->
+    Alcotest.(check string) "estimate-free tier wins" "simpli-squared"
+      (Degrade.tier_name o.Guard.provenance.Degrade.winner);
+    Alcotest.(check bool) "repairs are fabricated stats" true
+      (Sanitize.fabricated_stats o.Guard.repairs);
+    Alcotest.(check int) "one repair per relation" 8 (List.length o.Guard.repairs);
+    Alcotest.(check bool) "plan is valid" true (validate_against o.Guard.catalog o.Guard.plan);
+    (* No cost-based tier may appear in the attempt log: fabricated
+       numbers make their costs meaningless. *)
+    List.iter
+      (fun a ->
+        match a.Degrade.tier with
+        | Degrade.Estimate_free | Degrade.Greedy -> ()
+        | t -> Alcotest.failf "cost-based tier %s ran on fabricated stats" (Degrade.tier_name t))
+      o.Guard.provenance.Degrade.attempts
+
 (* The chaos contract, over 150 seeds: corrupt a problem, hand the raw
    statistics to the guard, and require either [Ok] with a plan that
    validates against the SANITIZED inputs at the advertised cost, or a
@@ -237,6 +305,8 @@ let suite =
     Alcotest.test_case "lenient sanitization repairs" `Quick test_sanitize_lenient_repairs;
     Alcotest.test_case "strict sanitization rejects" `Quick test_sanitize_strict_rejects;
     Alcotest.test_case "all input defects reported" `Quick test_sanitize_collects_all_errors;
+    Alcotest.test_case "lenient defaulting fabricates cardinalities" `Quick
+      test_sanitize_defaults_cardinalities;
     Alcotest.test_case "deadline degrades to greedy with provenance" `Quick
       test_deadline_degrades_to_greedy;
     Alcotest.test_case "memory ceiling skips DP tiers" `Quick test_memory_cap_skips_to_hybrid;
@@ -246,5 +316,7 @@ let suite =
     Alcotest.test_case "cascade without terminal tier fails loudly" `Quick
       test_cascade_without_terminal_tier;
     Alcotest.test_case "chaos is deterministic per seed" `Quick test_chaos_deterministic;
+    Alcotest.test_case "scrambled catalog degrades to the estimate-free tier" `Quick
+      test_scrambled_catalog_degrades_to_estimate_free;
     QCheck_alcotest.to_alcotest prop_chaos_never_breaks_guard;
   ]

@@ -1,0 +1,219 @@
+(* Blitz_robust: the noise model and the regret harness.
+
+   The load-bearing properties are determinism — the same (mode, level,
+   seed) must perturb a catalog byte-identically, and the same harness
+   arguments must produce the identical regret report, run to run and
+   regardless of domain count — and the two gates the bench experiment
+   enforces: exact methods have regret exactly 1 at error level 0, and
+   the estimate-free simpli-squared tier is noise-invariant because it
+   never reads the numbers being perturbed. *)
+
+open Test_helpers
+module Noise = Blitz_robust.Noise
+module Regret = Blitz_robust.Regret
+module Registry = Blitz_engine.Registry
+module Engine = Blitz_engine.Engine
+module Workload = Blitz_workload.Workload
+module B = Blitz_baselines
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let same_catalog a b =
+  let ca = Catalog.cards a and cb = Catalog.cards b in
+  Array.length ca = Array.length cb && Array.for_all2 same_float ca cb
+
+let same_graph a b =
+  List.equal
+    (fun (i1, j1, s1) (i2, j2, s2) -> i1 = i2 && j1 = j2 && same_float s1 s2)
+    (Join_graph.edges a) (Join_graph.edges b)
+
+let sample_problem ~n topology =
+  let spec =
+    Workload.spec ~n ~topology ~model:Cost_model.kdnl ~mean_card:1000.0 ~variability:0.33
+  in
+  Workload.problem spec
+
+(* ---- the noise model ---- *)
+
+let test_level_zero_is_identity () =
+  let catalog, graph = sample_problem ~n:7 Topology.Chain in
+  List.iter
+    (fun mode ->
+      let pcat, pgraph = Noise.perturb ~mode ~level:0.0 ~seed:5 catalog graph in
+      Alcotest.(check bool) "cards unchanged" true (same_catalog catalog pcat);
+      Alcotest.(check bool) "selectivities unchanged" true (same_graph graph pgraph))
+    [ Noise.Lognormal; Noise.Adversarial ]
+
+let test_noise_rejects_bad_levels () =
+  let catalog, graph = sample_problem ~n:4 Topology.Star in
+  List.iter
+    (fun level ->
+      Alcotest.check_raises
+        (Printf.sprintf "level %g rejected" level)
+        (Invalid_argument "Noise.perturb: level must be finite and >= 0")
+        (fun () -> ignore (Noise.perturb ~mode:Noise.Lognormal ~level ~seed:1 catalog graph)))
+    [ -1.0; Float.nan; Float.infinity ]
+
+let test_noise_outputs_constructible () =
+  (* Even at absurd error levels every output cardinality is positive
+     and finite and every selectivity is in (0, 1]: the clamps hold. *)
+  let catalog, graph = sample_problem ~n:8 Topology.Clique in
+  List.iter
+    (fun (mode, level) ->
+      let pcat, pgraph = Noise.perturb ~mode ~level ~seed:3 catalog graph in
+      Array.iter
+        (fun c ->
+          Alcotest.(check bool) "card positive finite" true (Float.is_finite c && c > 0.0))
+        (Catalog.cards pcat);
+      List.iter
+        (fun (_, _, s) ->
+          Alcotest.(check bool) "sel in (0, 1]" true (s > 0.0 && s <= 1.0))
+        (Join_graph.edges pgraph))
+    [ (Noise.Lognormal, 6.0); (Noise.Adversarial, 40.0) ]
+
+let prop_noise_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"same seed perturbs the catalog byte-identically"
+       QCheck2.Gen.(int_bound 1_000_000)
+       (fun seed ->
+         let rng = Rng.create ~seed in
+         let n = 3 + Rng.int rng 7 in
+         let catalog = random_catalog rng ~n ~lo:1.0 ~hi:1e5 in
+         let graph = random_graph rng ~n ~edge_prob:0.6 ~sel_lo:1e-4 ~sel_hi:1.0 in
+         let mode = if Rng.int rng 2 = 0 then Noise.Lognormal else Noise.Adversarial in
+         let level = Rng.float rng 3.0 in
+         let c1, g1 = Noise.perturb ~mode ~level ~seed catalog graph in
+         let c2, g2 = Noise.perturb ~mode ~level ~seed catalog graph in
+         let c3, g3 = Noise.perturb ~mode ~level ~seed:(seed + 1) catalog graph in
+         same_catalog c1 c2 && same_graph g1 g2
+         (* ...and the stream actually depends on the seed.  Only the
+            continuous lognormal draw makes a cross-seed collision
+            impossible; adversarial factors are coin flips, which a
+            small problem CAN repeat under another seed. *)
+         && ((not (mode = Noise.Lognormal && level > 0.01))
+             || not (same_catalog c1 c3 && same_graph g1 g3))))
+
+(* ---- the estimate-free baseline ---- *)
+
+(* simpli-squared reads only the join-graph structure: any perturbation
+   of cardinalities and selectivities (structure preserved) leaves its
+   plan unchanged. *)
+let test_simpli_noise_invariant () =
+  List.iter
+    (fun topology ->
+      let catalog, graph = sample_problem ~n:9 topology in
+      let base = B.Simpli.optimize graph in
+      List.iter
+        (fun seed ->
+          let _, pgraph = Noise.perturb ~mode:Noise.Lognormal ~level:3.0 ~seed catalog graph in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d: same plan" (Topology.name topology) seed)
+            true
+            (Plan.equal base (B.Simpli.optimize pgraph)))
+        [ 1; 2; 3 ])
+    [ Topology.Chain; Topology.Star; Topology.Clique ]
+
+(* ---- the regret harness ---- *)
+
+let small_run () =
+  Regret.run ~mode:Noise.Lognormal
+    ~topologies:[ Topology.Chain; Topology.Star ]
+    ~levels:[ 0.0; 1.0 ] ~seeds:[ 1; 2 ] ~n:6 Cost_model.kdnl
+
+let test_regret_report_deterministic () =
+  (* Two sweeps with equal arguments are structurally identical — same
+     cells, same per-seed samples, bit for bit. *)
+  let a = small_run () in
+  let b = small_run () in
+  Alcotest.(check bool) "reports identical" true (a = b)
+
+let test_regret_domain_independent () =
+  (* The report's DP samples do not depend on domain count: the exact
+     tier is bit-identical rank-parallel, so re-running a perturbed
+     problem on several domains reproduces the sequential cost the
+     harness recorded. *)
+  let catalog, graph = sample_problem ~n:7 Topology.Chain in
+  let pcat, pgraph = Noise.perturb ~mode:Noise.Lognormal ~level:1.0 ~seed:11 catalog graph in
+  let prob = Registry.problem ~graph:pgraph pcat in
+  let costs =
+    List.map
+      (fun num_domains ->
+        Engine.with_session ~model:Cost_model.kdnl ~num_domains (fun s ->
+            (Engine.optimize ~optimizer:"exact" s prob).Registry.cost))
+      [ 1; 2; 4 ]
+  in
+  match costs with
+  | c1 :: rest ->
+    List.iter
+      (fun c -> Alcotest.(check bool) "bit-identical across domains" true (same_float c1 c))
+      rest
+  | [] -> assert false
+
+let test_regret_gates () =
+  let r = small_run () in
+  (* Regret is never meaningfully below 1: the optimum is a true lower
+     bound, so a chosen plan can only tie it (within re-costing
+     round-off). *)
+  List.iter
+    (fun (c : Regret.cell) ->
+      Array.iter
+        (fun regret ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s regret %g >= 1" c.Regret.optimizer c.Regret.topology regret)
+            true
+            (regret >= 1.0 -. 1e-9))
+        c.Regret.regrets)
+    r.Regret.cells;
+  (* Exact methods at level 0 have regret exactly 1... *)
+  List.iter
+    (fun (c : Regret.cell) ->
+      if c.Regret.optimizer = "exact" && c.Regret.level = 0.0 then
+        Array.iter
+          (fun regret -> check_float ~rel:1e-12 "exact regret 1 at level 0" 1.0 regret)
+          c.Regret.regrets)
+    r.Regret.cells;
+  (* ...and the estimate-free tier's samples are identical at every
+     level of a topology. *)
+  List.iter
+    (fun topology ->
+      let rows =
+        List.filter
+          (fun (c : Regret.cell) ->
+            c.Regret.optimizer = "simpli-squared" && c.Regret.topology = topology)
+          r.Regret.cells
+      in
+      match rows with
+      | first :: rest ->
+        List.iter
+          (fun (c : Regret.cell) ->
+            Alcotest.(check bool) "noise-invariant" true (c.Regret.regrets = first.Regret.regrets))
+          rest
+      | [] -> Alcotest.fail "no simpli-squared cells")
+    r.Regret.topologies;
+  (* Structure of the sweep: bruteforce excluded, both topologies
+     swept, sample counts match the seed list. *)
+  Alcotest.(check bool) "bruteforce excluded" true
+    (not (List.mem "bruteforce" r.Regret.optimizers));
+  List.iter
+    (fun (c : Regret.cell) ->
+      Alcotest.(check int) "one sample per seed" 2 c.Regret.summary.Regret.samples)
+    r.Regret.cells
+
+let test_regret_rejects_empty_axes () =
+  Alcotest.check_raises "empty levels"
+    (Invalid_argument "Regret.run: levels, seeds and topologies must be non-empty") (fun () ->
+      ignore (Regret.run ~levels:[] ~n:5 Cost_model.kdnl))
+
+let suite =
+  [
+    Alcotest.test_case "level 0 is the identity" `Quick test_level_zero_is_identity;
+    Alcotest.test_case "bad levels rejected" `Quick test_noise_rejects_bad_levels;
+    Alcotest.test_case "outputs stay constructible" `Quick test_noise_outputs_constructible;
+    prop_noise_deterministic;
+    Alcotest.test_case "simpli-squared is noise-invariant" `Quick test_simpli_noise_invariant;
+    Alcotest.test_case "regret report deterministic" `Quick test_regret_report_deterministic;
+    Alcotest.test_case "regret samples domain-independent" `Quick test_regret_domain_independent;
+    Alcotest.test_case "regret gates: optimum bound, exact at 1, simpli flat" `Quick
+      test_regret_gates;
+    Alcotest.test_case "empty axes rejected" `Quick test_regret_rejects_empty_axes;
+  ]
