@@ -25,6 +25,7 @@ module B = Blitz_baselines
 
 let evaluate ~n model catalog graph =
   let is_tree = B.Ikkbz.is_tree graph in
+  let connected = Blitz_graph.Join_graph.is_connected graph in
   let prob = Registry.problem ~graph catalog in
   Engine.with_session ~model ~seed:1234 (fun session ->
       let optimum = ref Float.nan in
@@ -34,7 +35,7 @@ let evaluate ~n model catalog graph =
         |> List.filter_map (fun (e : Registry.entry) ->
                if e.Registry.name = "bruteforce" then None
                else
-                 match Registry.eligible e ~n ~is_tree with
+                 match Registry.eligible e ~connected ~n ~is_tree with
                  | Error reason -> Some [| e.Registry.name; "-"; "-"; reason |]
                  | Ok () ->
                    let outcome = ref None in

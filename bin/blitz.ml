@@ -337,8 +337,19 @@ let optimize_cmd =
       & info [ "corrupt-seed" ] ~docv:"SEED"
           ~doc:"Seed for --scramble-catalog corruption (independent of --seed).")
   in
+  let optimizer_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "optimizer" ] ~docv:"NAME"
+          ~doc:"Dispatch through a specific registry entry (e.g. dpccp, dpconv; 'blitz \
+                compare' lists them) instead of the exact/thresholded default.  Eligibility \
+                is checked against the entry's capability metadata, so e.g. dpccp accepts \
+                sparse queries far beyond the dense DP-table cap.")
+  in
   let run problem model threshold growth dump_table annotate execute seed physical hybrid degrade
-      deadline_ms max_table_mb num_domains cache repeat metrics trace scramble corrupt_seed =
+      deadline_ms max_table_mb num_domains cache repeat metrics trace scramble corrupt_seed
+      optimizer_name =
     obs_arm ~metrics ~trace;
     let names = Catalog.names problem.catalog in
     let num_domains =
@@ -475,15 +486,41 @@ let optimize_cmd =
         (O.sm_dnl_reference_cost problem.catalog problem.graph)
     end
     else begin
-    if Catalog.n problem.catalog > Dp_table.max_relations then begin
-      Printf.eprintf
-        "blitz: %d relations exceed the %d-relation DP table; use --hybrid for large queries\n"
-        (Catalog.n problem.catalog) Dp_table.max_relations;
-      exit 1
-    end;
+    (match optimizer_name with
+    | Some name -> (
+      (* An explicit optimizer brings its own caps: eligibility replaces
+         the blanket dense-table size check, which is what lets dpccp
+         take sparse queries past the 24-relation cap. *)
+      match Registry.find name with
+      | None ->
+        Printf.eprintf "blitz: unknown optimizer %S (known: %s)\n" name
+          (String.concat ", " (Registry.names ()));
+        exit 1
+      | Some entry -> (
+        match
+          Registry.eligible entry
+            ~connected:(Join_graph.is_connected problem.graph)
+            ~n:(Catalog.n problem.catalog)
+            ~is_tree:(B.Ikkbz.is_tree problem.graph)
+        with
+        | Ok () -> ()
+        | Error reason ->
+          Printf.eprintf "blitz: %s is not eligible here: %s\n" name reason;
+          exit 1))
+    | None ->
+      if Catalog.n problem.catalog > Dp_table.max_relations then begin
+        Printf.eprintf
+          "blitz: %d relations exceed the %d-relation DP table; use --hybrid for large queries\n"
+          (Catalog.n problem.catalog) Dp_table.max_relations;
+        exit 1
+      end);
     Engine.with_session ~model ~num_domains ?cache (fun session ->
     let prob = Registry.problem ~graph:problem.graph problem.catalog in
-    let optimizer = if threshold = None then "exact" else "thresholded" in
+    let optimizer =
+      match optimizer_name with
+      | Some name -> name
+      | None -> if threshold = None then "exact" else "thresholded"
+    in
     let t0 = Unix.gettimeofday () in
     (* With --repeat the same query streams through the session K times:
        cold the first time, answered from the cache (when enabled) after. *)
@@ -561,7 +598,7 @@ let optimize_cmd =
       const run $ problem_term $ model_arg $ threshold_arg $ growth_arg $ dump_table_arg
       $ annotate_arg $ execute_arg $ seed_arg $ physical_arg $ hybrid_arg $ degrade_arg
       $ deadline_ms_arg $ max_table_mb_arg $ num_domains_arg $ cache_term $ repeat_arg
-      $ metrics_arg $ trace_arg $ scramble_arg $ corrupt_seed_arg)
+      $ metrics_arg $ trace_arg $ scramble_arg $ corrupt_seed_arg $ optimizer_arg)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a join query with the blitzsplit algorithm")
@@ -586,7 +623,11 @@ let compare_cmd =
                       running in tests, not in an interactive sweep. *)
                    Some [| e.Registry.name; "-"; "-"; "skipped (exhaustive oracle)" |]
                  else
-                   match Registry.eligible e ~n ~is_tree with
+                   match
+                     Registry.eligible e
+                       ~connected:(Join_graph.is_connected problem.graph)
+                       ~n ~is_tree
+                   with
                    | Error reason -> Some [| e.Registry.name; "-"; "-"; reason |]
                    | Ok () ->
                      let t0 = Sys.time () in
@@ -691,7 +732,11 @@ let explain_cmd =
         exit 1
     in
     let n = Catalog.n problem.catalog in
-    (match Registry.eligible entry ~n ~is_tree:(B.Ikkbz.is_tree problem.graph) with
+    (match
+       Registry.eligible entry
+         ~connected:(Join_graph.is_connected problem.graph)
+         ~n ~is_tree:(B.Ikkbz.is_tree problem.graph)
+     with
     | Ok () -> ()
     | Error reason ->
       Printf.eprintf "blitz: %s is not eligible here: %s\n" optimizer reason;
@@ -758,12 +803,13 @@ let explain_cmd =
     in
     render "  " plan;
     (match outcome.Registry.counters with
-    | Some c when c.Counters.loop_iters > 0 ->
+    | Some c when c.Counters.loop_iters > 0 || c.Counters.ccp_pairs > 0 ->
       Printf.printf "\nsplit-loop counters (this run):\n";
       Format.printf "  @[<v>%a@]@." Counters.pp c
     | Some _ | None -> ());
     (* The run's metric deltas: counters and gauges are deterministic
-       for a given query (latency histograms are not — they go to
+       for a given query; histograms are shown as observation counts
+       only (sums and buckets are timing-dependent — they go to
        --metrics/--trace files, not here). *)
     Printf.printf "\nmetrics (this run):\n";
     List.iter
@@ -776,6 +822,8 @@ let explain_cmd =
             value
         | Obs.Metrics.Gauge { name; value; _ } when value <> 0.0 ->
           Printf.printf "  %s %g\n" name value
+        | Obs.Metrics.Histogram { name; count; _ } when count > 0 ->
+          Printf.printf "  %s count=%d\n" name count
         | _ -> ())
       (Obs.Metrics.snapshot ());
     obs_report ~metrics ~trace

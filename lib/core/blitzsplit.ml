@@ -49,23 +49,27 @@ let run ~graph_opt ?arena ?counters ?(threshold = Float.infinity) ?interrupt mod
     | None -> fun _ -> ()
     | Some stop -> fun s -> if s land probe_mask = 0 && stop () then raise Interrupted
   in
-  (match graph_opt with
-  | Some _ ->
-    for s = 3 to last do
-      if s land (s - 1) <> 0 then begin
-        probe s;
-        Split_loop.compute_properties_join tbl model graph s;
-        Split_loop.find_best_split tbl model ctr ~threshold s
-      end
-    done
-  | None ->
-    for s = 3 to last do
-      if s land (s - 1) <> 0 then begin
-        probe s;
-        Split_loop.compute_properties_product tbl model s;
-        Split_loop.find_best_split tbl model ctr ~threshold s
-      end
-    done);
+  let subs0 = ctr.Counters.subsets in
+  Blitz_obs.Perf.timed_rate Blitz_obs.Perf.split_loop_ns_per_subset
+    ~events:(fun () -> ctr.Counters.subsets - subs0)
+    (fun () ->
+      match graph_opt with
+      | Some _ ->
+        for s = 3 to last do
+          if s land (s - 1) <> 0 then begin
+            probe s;
+            Split_loop.compute_properties_join tbl model graph s;
+            Split_loop.find_best_split tbl model ctr ~threshold s
+          end
+        done
+      | None ->
+        for s = 3 to last do
+          if s land (s - 1) <> 0 then begin
+            probe s;
+            Split_loop.compute_properties_product tbl model s;
+            Split_loop.find_best_split tbl model ctr ~threshold s
+          end
+        done);
   { table = tbl; counters = ctr; catalog; graph; model; threshold }
 
 let optimize_join ?arena ?counters ?threshold ?interrupt model catalog graph =

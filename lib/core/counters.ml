@@ -7,6 +7,7 @@ type t = {
   mutable threshold_skips : int;
   mutable infeasible : int;
   mutable passes : int;
+  mutable ccp_pairs : int;
 }
 
 let create () =
@@ -19,6 +20,7 @@ let create () =
     threshold_skips = 0;
     infeasible = 0;
     passes = 0;
+    ccp_pairs = 0;
   }
 
 let reset t =
@@ -29,7 +31,8 @@ let reset t =
   t.improvements <- 0;
   t.threshold_skips <- 0;
   t.infeasible <- 0;
-  t.passes <- 0
+  t.passes <- 0;
+  t.ccp_pairs <- 0
 
 let copy t = { t with subsets = t.subsets }
 
@@ -41,7 +44,8 @@ let merge_into ~from ~into =
   into.improvements <- into.improvements + from.improvements;
   into.threshold_skips <- into.threshold_skips + from.threshold_skips;
   into.infeasible <- into.infeasible + from.infeasible;
-  into.passes <- into.passes + from.passes
+  into.passes <- into.passes + from.passes;
+  into.ccp_pairs <- into.ccp_pairs + from.ccp_pairs
 
 let exact_loop_iters n =
   if n < 1 then invalid_arg "Counters.exact_loop_iters: n must be positive";
@@ -53,10 +57,15 @@ let predicted_dprime_lower n =
 
 let predicted_dprime_upper n = Blitz_util.Float_more.pow_int 3.0 n
 
+(* [ccp pairs] prints only when nonzero: the field is fed exclusively by
+   the dpccp driver, and the blitzsplit-family counter dumps (including
+   the cram-tested CLI output) should not grow a permanently-zero row. *)
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>subsets processed:   %d@,split-loop iters:    %d@,operand sums:        %d@,\
      kappa'' evaluations: %d@,improvements:        %d@,threshold skips:     %d@,\
-     infeasible subsets:  %d@,passes:              %d@]"
+     infeasible subsets:  %d@,passes:              %d"
     t.subsets t.loop_iters t.operand_sums t.dprime_evals t.improvements t.threshold_skips
-    t.infeasible t.passes
+    t.infeasible t.passes;
+  if t.ccp_pairs > 0 then Format.fprintf ppf "@,ccp pairs:           %d" t.ccp_pairs;
+  Format.fprintf ppf "@]"

@@ -28,6 +28,11 @@ type t = {
       (** Subsets for which no split beat the threshold. *)
   mutable passes : int;
       (** Optimization passes (> 1 only under threshold re-optimization). *)
+  mutable ccp_pairs : int;
+      (** Csg-cmp pairs folded by the dpccp driver (0 for blitzsplit,
+          whose split loop is counted in [loop_iters]).  The headline
+          comparison is [ccp_pairs] vs {!exact_loop_iters}: what
+          connectivity pruning saves on sparse graphs. *)
 }
 
 val create : unit -> t

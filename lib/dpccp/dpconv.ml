@@ -1,0 +1,174 @@
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Plan = Blitz_plan.Plan
+module Card_table = Blitz_core.Card_table
+module Blitzsplit = Blitz_core.Blitzsplit
+
+type t = { plan : Plan.t; bottleneck : float; checks : int }
+
+(* Peak footprint is the (n+1) ranked zeta layers plus the convolution
+   accumulator, all int arrays of 2^n slots — ~(n+3) * 8 * 2^n bytes,
+   ~190 MB at the cap.  That, not time, is what pins max_relations. *)
+let max_relations = 20
+
+let estimate_bytes ~n =
+  let words = (n + 3) * (1 lsl n) in
+  if words >= max_int / 8 then max_int else (8 * words) + (1 lsl n)
+
+(* In-place zeta / Möbius transforms over the subset lattice (Yates'
+   per-dimension sweeps).  [mobius] is only ever applied to sums of
+   pointwise products of zeta transforms, so all intermediates stay
+   nonnegative; counts are bounded by n * 4^n < 2^62 at n = 20. *)
+let zeta a n =
+  let size = 1 lsl n in
+  for i = 0 to n - 1 do
+    let bit = 1 lsl i in
+    for s = 0 to size - 1 do
+      if s land bit <> 0 then
+        Array.unsafe_set a s (Array.unsafe_get a s + Array.unsafe_get a (s lxor bit))
+    done
+  done
+
+let mobius a n =
+  let size = 1 lsl n in
+  for i = 0 to n - 1 do
+    let bit = 1 lsl i in
+    for s = 0 to size - 1 do
+      if s land bit <> 0 then
+        Array.unsafe_set a s (Array.unsafe_get a s - Array.unsafe_get a (s lxor bit))
+    done
+  done
+
+(* One feasibility check: is the full set achievable with every
+   intermediate (non-singleton) cardinality <= tau?  Achievability is
+   built rank by rank: a set S of size k is achievable iff
+   card(S) <= tau and some disjoint achievable pair covers it, which the
+   ranked subset convolution answers for all S of rank k at once —
+   h_k = Möbius(sum_{i+j=k} zeta(f_i) * zeta(f_j)) read on the rank-k
+   diagonal.  The Möbius inversion is load-bearing: the pre-inversion
+   diagonal also counts overlapping pairs with |A| + |B| = |S| but
+   A ∪ B ⊊ S, so testing it for positivity would over-accept. *)
+let feasible ~n ~cards ~z ~h ~ach ~probe tau =
+  let size = 1 lsl n in
+  Bytes.fill ach 0 size '\000';
+  for k = 1 to n do
+    Array.fill z.(k) 0 size 0
+  done;
+  for i = 0 to n - 1 do
+    let s = 1 lsl i in
+    Bytes.unsafe_set ach s '\001';
+    z.(1).(s) <- 1
+  done;
+  zeta z.(1) n;
+  for k = 2 to n do
+    probe ();
+    Array.fill h 0 size 0;
+    for i = 1 to k - 1 do
+      let zi = z.(i) and zj = z.(k - i) in
+      for s = 0 to size - 1 do
+        Array.unsafe_set h s
+          (Array.unsafe_get h s + (Array.unsafe_get zi s * Array.unsafe_get zj s))
+      done
+    done;
+    mobius h n;
+    let fk = z.(k) in
+    for s = 0 to size - 1 do
+      if
+        Array.unsafe_get h s > 0
+        && Relset.cardinal s = k
+        && Array.unsafe_get cards s <= tau
+      then begin
+        Bytes.unsafe_set ach s '\001';
+        Array.unsafe_set fk s 1
+      end
+    done;
+    zeta fk n
+  done;
+  Bytes.get ach (size - 1) = '\001'
+
+let achievable ach s = Bytes.get ach s = '\001'
+
+(* Greedy top-down extraction over the achievability indicator: any
+   split into two achievable halves works (achievability is closed under
+   its own recursion), so take the first.  Subsets of [s \ lowest-bit]
+   keep the lowest bit on the left — each unordered split tried once. *)
+let rec extract ach s =
+  if s land (s - 1) = 0 then Plan.Leaf (Relset.min_elt s)
+  else begin
+    let lo = s land -s in
+    let rest = s lxor lo in
+    let split = ref 0 in
+    let t = ref 0 in
+    (try
+       while true do
+         let a = lo lor !t in
+         let b = s lxor a in
+         if b <> 0 && achievable ach a && achievable ach b then begin
+           split := a;
+           raise Exit
+         end;
+         if !t = rest then raise Exit;
+         t := (!t - rest) land rest
+       done
+     with Exit -> ());
+    if !split = 0 then failwith "Dpconv: achievable set admits no achievable split";
+    Plan.Join (extract ach !split, extract ach (s lxor !split))
+  end
+
+let optimize ?interrupt catalog graph =
+  let n = Catalog.n catalog in
+  if Join_graph.n graph <> n then
+    invalid_arg
+      (Printf.sprintf "Dpconv: graph over %d relations, catalog has %d" (Join_graph.n graph) n);
+  if n > max_relations then
+    invalid_arg (Printf.sprintf "Dpconv: %d relations exceed the %d-relation cap" n max_relations);
+  if n = 1 then { plan = Plan.Leaf 0; bottleneck = 0.0; checks = 0 }
+  else begin
+    let probe =
+      match interrupt with
+      | None -> fun () -> ()
+      | Some stop -> fun () -> if stop () then raise Blitzsplit.Interrupted
+    in
+    let cards = Card_table.compute catalog graph in
+    let size = 1 lsl n in
+    let full = size - 1 in
+    (* Candidate bottlenecks: distinct non-singleton subset cardinalities
+       at least card(full) — the final join always materializes the full
+       result, so smaller taus are infeasible a priori. *)
+    let floor = cards.(full) in
+    let cand =
+      let tbl = Hashtbl.create 1024 in
+      for s = 3 to full do
+        if s land (s - 1) <> 0 then begin
+          let c = cards.(s) in
+          if c >= floor then Hashtbl.replace tbl c ()
+        end
+      done;
+      let a = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+      Array.sort compare a;
+      a
+    in
+    let z = Array.init (n + 1) (fun _ -> Array.make size 0) in
+    let h = Array.make size 0 in
+    let ach = Bytes.create size in
+    let checks = ref 0 in
+    let check tau =
+      incr checks;
+      feasible ~n ~cards ~z ~h ~ach ~probe tau
+    in
+    (* Smallest feasible candidate by binary search; the largest (the
+       global max card) always admits any plan, so the search cannot
+       come up empty. *)
+    let lo = ref 0 and hi = ref (Array.length cand - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if check cand.(mid) then hi := mid else lo := mid + 1
+    done;
+    let bottleneck = cand.(!lo) in
+    (* Refill the indicator for the winning tau (the last probe may have
+       been an infeasible mid). *)
+    if not (check bottleneck) then
+      failwith "Dpconv: binary-search invariant violated (winning tau infeasible)";
+    { plan = extract ach full; bottleneck; checks = !checks }
+  end

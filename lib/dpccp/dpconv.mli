@@ -1,0 +1,45 @@
+(** DPconv: join ordering by subset-sum convolution under [C_max].
+
+    The layered-convolution idea of Stoian & Kipf, "DPconv: Super-
+    Polynomially Faster Join Ordering" (arXiv 2409.08013): for the
+    bottleneck objective [C_max] — minimize the largest intermediate
+    cardinality any join materializes — the DP over partitions collapses
+    to feasibility questions "can the full set be assembled from pieces
+    whose cardinality never exceeds tau?", each answerable for {e all}
+    subsets at once by ranked subset convolution over the boolean
+    achievability indicator in [O(n^2 2^n)], beating the [O(3^n)]
+    partition enumeration super-polynomially.  A binary search over the
+    [<= 2^n] distinct candidate cardinalities then pins the optimal tau
+    with [O(n)] convolution rounds.
+
+    Cartesian products are allowed (achievability does not consult the
+    join graph's edges), so disconnected graphs are handled — the
+    complement of {!Dpccp}'s restriction.  The bottleneck objective is
+    exact for [C_max] only; the registry entry re-costs the returned
+    plan under the session model for honest cross-method comparison,
+    like the IKKBZ baseline. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Plan = Blitz_plan.Plan
+
+type t = {
+  plan : Plan.t;  (** A plan attaining the optimal bottleneck. *)
+  bottleneck : float;
+      (** The minimized maximum intermediate cardinality ([0] for a
+          single relation: no joins, no intermediates). *)
+  checks : int;  (** Feasibility checks (convolution rounds) run. *)
+}
+
+val max_relations : int
+(** Hard cap on [n] (20): the ranked layers cost [(n+3) * 8 * 2^n]
+    bytes. *)
+
+val estimate_bytes : n:int -> int
+(** Peak working-set estimate for capability metadata. *)
+
+val optimize : ?interrupt:(unit -> bool) -> Catalog.t -> Join_graph.t -> t
+(** Minimize the bottleneck intermediate cardinality.  [interrupt] is
+    polled once per convolution layer and raises
+    {!Blitz_core.Blitzsplit.Interrupted}.  Raises [Invalid_argument] on
+    a catalog/graph size mismatch or [n > max_relations]. *)

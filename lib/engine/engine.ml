@@ -171,7 +171,7 @@ let run_entry t (entry : Registry.entry) ~optimizer ?interrupt ?threshold ?cold_
     match cold_ctx with Some c -> c | None -> ctx ?interrupt ?threshold ~counters:ctr t
   in
   let cacheable =
-    t.cache <> None && entry.Registry.caps.Registry.exact && Option.is_none threshold
+    t.cache <> None && entry.Registry.caps.Registry.cacheable && Option.is_none threshold
   in
   if not cacheable then entry.Registry.optimize (cold ()) problem
   else

@@ -11,6 +11,8 @@ module Threshold = Blitz_core.Threshold
 module Pool = Blitz_parallel.Pool
 module Parallel_blitzsplit = Blitz_parallel.Parallel_blitzsplit
 module Hybrid = Blitz_hybrid.Hybrid
+module Dpccp = Blitz_dpccp.Dpccp
+module Dpconv = Blitz_dpccp.Dpconv
 module B = Blitz_baselines
 module Obs = Blitz_obs.Obs
 
@@ -54,6 +56,8 @@ type caps = {
   exact : bool;
   deadline_exempt : bool;
   stats_free : bool;
+  connected_only : bool;
+  cacheable : bool;
 }
 
 type entry = {
@@ -95,6 +99,8 @@ let dp_caps =
     exact = true;
     deadline_exempt = false;
     stats_free = false;
+    connected_only = false;
+    cacheable = true;
   }
 
 let tablefree_caps =
@@ -106,6 +112,8 @@ let tablefree_caps =
     exact = false;
     deadline_exempt = false;
     stats_free = false;
+    connected_only = false;
+    cacheable = false;
   }
 
 (* ---- the exact tier: blitzsplit, sequential or rank-parallel ---- *)
@@ -253,8 +261,38 @@ let run_simpli ctx p =
     ()
 
 let run_dpccp ctx p =
-  let r = B.Dpccp.optimize ctx.model p.catalog (graph_of p) in
-  basic ~plan:r.B.Dpccp.plan ~cost:r.B.Dpccp.cost ()
+  let ctr = counters_of ctx in
+  let r =
+    Dpccp.optimize ?arena:ctx.arena ~counters:ctr ?interrupt:ctx.interrupt ctx.model p.catalog
+      (graph_of p)
+  in
+  {
+    plan = r.Dpccp.plan;
+    cost = r.Dpccp.cost;
+    passes = 1;
+    final_threshold = Float.infinity;
+    table = r.Dpccp.table;
+    counters = Some ctr;
+    note =
+      Some
+        (Printf.sprintf "%d csg-cmp pairs over %d connected sets (%s backend)"
+           r.Dpccp.ccp_pairs r.Dpccp.connected_sets
+           (match r.Dpccp.backend with Dpccp.Dense -> "dense" | Dpccp.Sparse -> "sparse"));
+  }
+
+let run_dpconv ctx p =
+  let g = graph_of p in
+  let r = Dpconv.optimize ?interrupt:ctx.interrupt p.catalog g in
+  (* DPconv minimizes the C_max bottleneck; report the plan's cost under
+     the session model for an honest cross-method comparison. *)
+  basic
+    ~note:
+      (Printf.sprintf
+         "C_max bottleneck %.6g in %d feasibility checks; re-costed under the session model"
+         r.Dpconv.bottleneck r.Dpconv.checks)
+    ~plan:(Some r.Dpconv.plan)
+    ~cost:(Plan.cost ctx.model p.catalog g r.Dpconv.plan)
+    ()
 
 let run_bruteforce ctx p =
   let plan, cost = B.Bruteforce.optimize ctx.model p.catalog (graph_of p) in
@@ -345,19 +383,26 @@ let () =
       {
         name = "dpsize-no-products";
         summary = "size-driven DP enumerator, connected joins only";
-        caps = { dp_caps with parallelizable = false; exact = false };
+        caps =
+          {
+            dp_caps with
+            parallelizable = false;
+            exact = false;
+            cacheable = false;
+            connected_only = true;
+          };
         optimize = run_dpsize ~cartesian:false;
       };
       {
         name = "leftdeep";
         summary = "System-R-style left-deep DP, products allowed";
-        caps = { dp_caps with parallelizable = false; exact = false };
+        caps = { dp_caps with parallelizable = false; exact = false; cacheable = false };
         optimize = run_leftdeep ~policy:B.Leftdeep.Allowed;
       };
       {
         name = "leftdeep-deferred";
         summary = "left-deep DP with Cartesian products deferred to the end";
-        caps = { dp_caps with parallelizable = false; exact = false };
+        caps = { dp_caps with parallelizable = false; exact = false; cacheable = false };
         optimize = run_leftdeep ~policy:B.Leftdeep.Deferred;
       };
       {
@@ -386,9 +431,32 @@ let () =
       };
       {
         name = "dpccp";
-        summary = "connected-subgraph-pair DP (no Cartesian products)";
-        caps = { dp_caps with parallelizable = false; exact = false };
+        summary = "connectivity-pruned DP over csg-cmp pairs (no Cartesian products)";
+        caps =
+          {
+            dp_caps with
+            max_n = Some Dpccp.max_relations;
+            table_bytes = Some (fun ~n -> Dpccp.estimate_bytes ~n);
+            parallelizable = false;
+            exact = false;
+            cacheable = false;
+            connected_only = true;
+          };
         optimize = run_dpccp;
+      };
+      {
+        name = "dpconv";
+        summary = "subset-sum convolution minimizing the C_max bottleneck";
+        caps =
+          {
+            dp_caps with
+            max_n = Some Dpconv.max_relations;
+            table_bytes = Some (fun ~n -> Dpconv.estimate_bytes ~n);
+            parallelizable = false;
+            exact = false;
+            cacheable = false;
+          };
+        optimize = run_dpconv;
       };
       {
         name = "bruteforce";
@@ -416,10 +484,12 @@ let optimize ?(optimizer = "exact") ctx p = (find_exn optimizer).optimize ctx p
 
 (* ---- metadata-driven eligibility ---- *)
 
-let eligible entry ~n ~is_tree =
+let eligible ?(connected = true) entry ~n ~is_tree =
   if (match entry.caps.max_n with Some limit -> n > limit | None -> false) then
     Error
       (Printf.sprintf "%d relations exceed the %d-relation cap" n
          (Option.get entry.caps.max_n))
   else if entry.caps.tree_only && not is_tree then Error "join graph is not a tree"
+  else if entry.caps.connected_only && not connected then
+    Error "join graph is disconnected (method excludes Cartesian products)"
   else Ok ()

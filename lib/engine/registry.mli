@@ -24,6 +24,8 @@ module Arena = Blitz_core.Arena
 module Counters = Blitz_core.Counters
 module Dp_table = Blitz_core.Dp_table
 module Pool = Blitz_parallel.Pool
+module Dpccp = Blitz_dpccp.Dpccp
+module Dpconv = Blitz_dpccp.Dpconv
 
 type problem = { catalog : Catalog.t; graph : Join_graph.t option }
 (** A query: its relations and, optionally, its join predicates.  A
@@ -94,6 +96,18 @@ type caps = {
           the join graph's shape alone, so the method survives a
           corrupted or fabricated catalog ([simpli-squared] — the
           cascade's estimate-free bottom tier). *)
+  connected_only : bool;
+      (** Searches the product-free plan space only: on a disconnected
+          join graph the method cannot produce a complete plan at all
+          ([dpccp], [dpsize-no-products]), so dispatch is refused
+          upfront by {!eligible}. *)
+  cacheable : bool;
+      (** Results may enter the cross-query plan cache.  Stricter than
+          [exact]: a cached plan is replayed under the same fingerprint
+          regardless of which optimizer later serves the query, so only
+          methods whose plan is optimal over the {e full} plan space
+          qualify — product-free or left-deep optima silently degrade
+          later exact lookups. *)
 }
 
 type entry = {
@@ -112,7 +126,7 @@ val register : entry -> unit
     [exact], [thresholded], [hybrid], [ikkbz], [greedy],
     [simpli-squared], [dpsize], [dpsize-no-products], [leftdeep],
     [leftdeep-deferred], [iterative-improvement], [simulated-annealing],
-    [random-probe], [volcano], [dpccp], [bruteforce]. *)
+    [random-probe], [volcano], [dpccp], [dpconv], [bruteforce]. *)
 
 val all : unit -> entry list
 (** In registration order. *)
@@ -127,7 +141,9 @@ val optimize : ?optimizer:string -> ctx -> problem -> outcome
 (** [optimize ~optimizer ctx p] = [(find_exn optimizer).optimize ctx p];
     [optimizer] defaults to ["exact"]. *)
 
-val eligible : entry -> n:int -> is_tree:bool -> (unit, string) result
+val eligible : ?connected:bool -> entry -> n:int -> is_tree:bool -> (unit, string) result
 (** Quick metadata check: [Error reason] when the entry's caps rule the
-    problem out ([max_n], [tree_only]).  Memory ceilings are the
+    problem out ([max_n], [tree_only], and — when the caller knows the
+    graph's connectivity — [connected_only]; [connected] defaults to
+    [true], i.e. benefit of the doubt).  Memory ceilings are the
     budget-holder's side (see [Degrade.eligibility]). *)

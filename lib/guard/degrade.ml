@@ -9,13 +9,14 @@ module Registry = Blitz_engine.Registry
 module B = Blitz_baselines
 module Obs = Blitz_obs.Obs
 
-type tier = Exact | Thresholded | Hybrid_windows | Ikkbz | Greedy | Estimate_free
+type tier = Exact | Thresholded | Dpccp | Hybrid_windows | Ikkbz | Greedy | Estimate_free
 
 (* Tier names double as registry keys: the cascade no longer owns any
    algorithm invocation code, it sequences registry entries. *)
 let tier_name = function
   | Exact -> "exact"
   | Thresholded -> "thresholded"
+  | Dpccp -> "dpccp"
   | Hybrid_windows -> "hybrid"
   | Ikkbz -> "ikkbz"
   | Greedy -> "greedy"
@@ -23,7 +24,14 @@ let tier_name = function
 
 let tier_entry tier = Registry.find_exn (tier_name tier)
 
-let default_cascade = [ Exact; Thresholded; Hybrid_windows; Ikkbz; Greedy; Estimate_free ]
+(* Dpccp slots between the thresholded driver and the hybrid: when the
+   2^n table (or the deadline) rules the full-space DP out, the
+   connectivity-pruned search still finds the product-free optimum at
+   polynomial cost on sparse graphs — strictly stronger than dropping
+   straight to randomized search.  Its eligibility check refuses
+   disconnected graphs, where its plan space is empty. *)
+let default_cascade =
+  [ Exact; Thresholded; Dpccp; Hybrid_windows; Ikkbz; Greedy; Estimate_free ]
 
 (* When Sanitize had to fabricate cardinalities the cost-based tiers
    would optimize placeholder numbers — garbage in, garbage out, at
@@ -108,7 +116,14 @@ let eligibility ?arena ?(cache_bytes = 0) ~budget tier catalog graph =
              DP table: what the cache holds, the table cannot claim. *)
           let needed_bytes =
             cache_bytes
-            + (match arena with Some a -> Arena.bytes_after a ~n () | None -> bytes ~n)
+            + (match arena with
+              (* Beyond the dense-table cap only the sparse/table-free
+                 backends can run, and they draw nothing from the arena —
+                 charge the entry's own estimate (also keeps
+                 [Arena.bytes_after]'s argument in range). *)
+              | Some a when n <= Blitz_core.Dp_table.max_relations ->
+                Arena.bytes_after a ~n ()
+              | Some _ | None -> bytes ~n)
           in
           if Budget.admits_bytes budget needed_bytes then None
           else
@@ -124,6 +139,8 @@ let eligibility ?arena ?(cache_bytes = 0) ~budget tier catalog graph =
       | None ->
         if caps.Registry.tree_only && not (B.Ikkbz.is_tree graph) then
           Some (Not_applicable "join graph is not a tree")
+        else if caps.Registry.connected_only && not (Join_graph.is_connected graph) then
+          Some (Not_applicable "join graph is disconnected")
         else None)
 
 let run_tier ?(num_domains = 1) ?arena ?pool ~budget ~seed tier model catalog graph =

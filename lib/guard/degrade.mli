@@ -32,6 +32,12 @@ type tier =
   | Thresholded
       (** Threshold multi-pass (Section 6.4), seeded from the greedy
           cost bound so the first pass prunes hard. *)
+  | Dpccp
+      (** Connectivity-pruned DP: the product-free optimum at csg-cmp
+          cost.  Polynomial on sparse graphs and table-free beyond
+          [n = 20], so it survives the size caps and memory ceilings
+          that skip the full-space DP tiers; skipped on disconnected
+          graphs (its plan space is empty there). *)
   | Hybrid_windows  (** Section 7 hybrid: anytime, any [n]. *)
   | Ikkbz  (** Tree queries only; re-costed under the session model. *)
   | Greedy  (** Terminal guarantee; always runs. *)
@@ -43,7 +49,8 @@ type tier =
 val tier_name : tier -> string
 
 val default_cascade : tier list
-(** [Exact; Thresholded; Hybrid_windows; Ikkbz; Greedy; Estimate_free]. *)
+(** [Exact; Thresholded; Dpccp; Hybrid_windows; Ikkbz; Greedy;
+    Estimate_free]. *)
 
 val fabricated_cascade : tier list
 (** [Estimate_free; Greedy] — the cascade for catalogs whose

@@ -1,0 +1,32 @@
+(** Microkernel rate instruments: ns per inner-loop unit.
+
+    One histogram per hot enumeration loop, named and allocated here so
+    the sequential split loop, the rank-parallel driver and the dpccp
+    pair loop all feed the same instruments — a regression in any
+    driver's inner loop shows up in [blitz explain]'s metric deltas and
+    in the Prometheus exposition under a stable name.
+
+    All observation paths are gated on {!Metrics.enabled}: a disabled
+    process pays one branch per optimizer call, no clock reads. *)
+
+val ns_buckets : float array
+(** Bucket bounds tuned for ns/iteration rates (0.5 ns – 1 ms). *)
+
+val split_loop_ns_per_subset : Metrics.histogram
+(** Wall-clock ns per subset processed by a blitzsplit DP pass
+    ([blitz_split_loop_ns_per_subset]). *)
+
+val dpccp_ns_per_pair : Metrics.histogram
+(** Wall-clock ns per csg-cmp pair folded by the dpccp driver
+    ([blitz_dpccp_ns_per_pair]). *)
+
+val observe_rate : Metrics.histogram -> elapsed_s:float -> events:int -> unit
+(** Observe [elapsed_s / events] in nanoseconds; no-op when [events] is
+    zero or metrics are disabled. *)
+
+val timed_rate : Metrics.histogram -> events:(unit -> int) -> (unit -> 'a) -> 'a
+(** [timed_rate hist ~events f] runs [f], then observes elapsed wall
+    time divided by the growth of [events ()] across the call.  When
+    metrics are disabled this is exactly [f ()] — no clock reads.  An
+    exception escaping [f] skips the observation (a partial rate would
+    be noise). *)

@@ -154,10 +154,24 @@ let parallel_run pool ~graph_opt ~arena ~ctr ~threshold ~interrupt model catalog
   merge_counters ();
   tbl
 
-let run ?pool ~num_domains ~graph_opt ?arena ?counters ?(threshold = Float.infinity)
-    ?interrupt model catalog =
+(* Below this size the rank barriers and chunk scheduling cost more than
+   the split loops they spread out: BENCH_parallel.json on the reference
+   host shows speedups of 0.4-1.0x through n = 13 and the sequential pass
+   finishing in well under a millisecond there, while the parallel win
+   only materializes once per-rank work amortizes the synchronization.
+   n = 14 keeps the CI parallel smoke (n = 15) on the parallel path. *)
+let default_crossover_n = 14
+
+let run ?pool ~num_domains ?(min_parallel_n = default_crossover_n) ~graph_opt ?arena ?counters
+    ?(threshold = Float.infinity) ?interrupt model catalog =
   if threshold <= 0.0 then invalid_arg "Parallel_blitzsplit: threshold must be positive";
   let n = Catalog.n catalog in
+  (* Auto-fallback: tiny queries run the sequential kernel even when a
+     pool or domain budget was supplied — bit-identical result, no
+     barrier overhead.  The measured-crossover override ([min_parallel_n])
+     lets benchmarks and tests still drive the parallel path at small n. *)
+  let num_domains = if n < min_parallel_n then 1 else num_domains in
+  let pool = if n < min_parallel_n then None else pool in
   let graph =
     match graph_opt with
     | Some g ->
@@ -189,41 +203,43 @@ let run ?pool ~num_domains ~graph_opt ?arena ?counters ?(threshold = Float.infin
     in
     { Blitzsplit.table; counters = ctr; catalog; graph; model; threshold }
 
-let optimize_join ?pool ?num_domains ?arena ?counters ?threshold ?interrupt model catalog
-    graph =
+let optimize_join ?pool ?num_domains ?min_parallel_n ?arena ?counters ?threshold ?interrupt
+    model catalog graph =
   let num_domains =
     match num_domains with Some d -> d | None -> recommended_domains ()
   in
-  run ?pool ~num_domains ~graph_opt:(Some graph) ?arena ?counters ?threshold ?interrupt model
-    catalog
+  run ?pool ~num_domains ?min_parallel_n ~graph_opt:(Some graph) ?arena ?counters ?threshold
+    ?interrupt model catalog
 
-let optimize_product ?pool ?num_domains ?arena ?counters ?threshold ?interrupt model catalog =
+let optimize_product ?pool ?num_domains ?min_parallel_n ?arena ?counters ?threshold ?interrupt
+    model catalog =
   let num_domains =
     match num_domains with Some d -> d | None -> recommended_domains ()
   in
-  run ?pool ~num_domains ~graph_opt:None ?arena ?counters ?threshold ?interrupt model catalog
+  run ?pool ~num_domains ?min_parallel_n ~graph_opt:None ?arena ?counters ?threshold ?interrupt
+    model catalog
 
 (* Threshold escalation over the parallel passes: one pool outlives all
    passes, so re-optimization pays the Domain.spawn cost once. *)
 
 let private_arena = function Some a -> a | None -> Arena.create ()
 
-let threshold_optimize_join ?pool ?arena ?counters ?growth ?max_passes ?interrupt ~num_domains
-    ~threshold model catalog graph =
+let threshold_optimize_join ?pool ?min_parallel_n ?arena ?counters ?growth ?max_passes
+    ?interrupt ~num_domains ~threshold model catalog graph =
   let arena = private_arena arena in
   let drive pool =
     Threshold.drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
-        run ~pool ~num_domains ~graph_opt:(Some graph) ~arena ~counters ~threshold ?interrupt
-          model catalog)
+        run ~pool ~num_domains ?min_parallel_n ~graph_opt:(Some graph) ~arena ~counters
+          ~threshold ?interrupt model catalog)
   in
   match pool with Some pool -> drive pool | None -> Pool.with_pool ~num_domains drive
 
-let threshold_optimize_product ?pool ?arena ?counters ?growth ?max_passes ?interrupt
-    ~num_domains ~threshold model catalog =
+let threshold_optimize_product ?pool ?min_parallel_n ?arena ?counters ?growth ?max_passes
+    ?interrupt ~num_domains ~threshold model catalog =
   let arena = private_arena arena in
   let drive pool =
     Threshold.drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
-        run ~pool ~num_domains ~graph_opt:None ~arena ~counters ~threshold ?interrupt model
-          catalog)
+        run ~pool ~num_domains ?min_parallel_n ~graph_opt:None ~arena ~counters ~threshold
+          ?interrupt model catalog)
   in
   match pool with Some pool -> drive pool | None -> Pool.with_pool ~num_domains drive

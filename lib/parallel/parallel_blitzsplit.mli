@@ -38,9 +38,19 @@ module Arena = Blitz_core.Arena
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the default worker count. *)
 
+val default_crossover_n : int
+(** Below this relation count (14) the drivers fall back to the
+    sequential kernel even when a pool or domain budget is supplied:
+    the committed parallel benchmark shows rank barriers and chunk
+    scheduling erase the win there (speedups of 0.4–1.0x through
+    n = 13), and the results are bit-identical either way.  Override
+    with [min_parallel_n] to force the parallel path (benchmarks,
+    tests). *)
+
 val run :
   ?pool:Pool.t ->
   num_domains:int ->
+  ?min_parallel_n:int ->
   graph_opt:Join_graph.t option ->
   ?arena:Arena.t ->
   ?counters:Counters.t ->
@@ -56,7 +66,8 @@ val run :
     used (and [num_domains] ignored); otherwise a fresh pool of
     [num_domains] domains lives for the duration of the call.  With no
     pool and [num_domains <= 1] this is exactly the sequential
-    optimizer.  [?arena] draws the DP table from a session workspace
+    optimizer; the same fallback fires regardless of pool/domains when
+    [n < min_parallel_n] (default {!default_crossover_n}).  [?arena] draws the DP table from a session workspace
     ({!Blitz_core.Arena}) instead of a fresh allocation — the
     coordinator acquires it before workers start and the results stay
     bit-identical.  Raises {!Blitzsplit.Interrupted} when the probe
@@ -66,6 +77,7 @@ val run :
 val optimize_join :
   ?pool:Pool.t ->
   ?num_domains:int ->
+  ?min_parallel_n:int ->
   ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?threshold:float ->
@@ -80,6 +92,7 @@ val optimize_join :
 val optimize_product :
   ?pool:Pool.t ->
   ?num_domains:int ->
+  ?min_parallel_n:int ->
   ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?threshold:float ->
@@ -101,6 +114,7 @@ val optimize_product :
 
 val threshold_optimize_join :
   ?pool:Pool.t ->
+  ?min_parallel_n:int ->
   ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?growth:float ->
@@ -115,6 +129,7 @@ val threshold_optimize_join :
 
 val threshold_optimize_product :
   ?pool:Pool.t ->
+  ?min_parallel_n:int ->
   ?arena:Arena.t ->
   ?counters:Counters.t ->
   ?growth:float ->

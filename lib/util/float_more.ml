@@ -7,6 +7,29 @@ let approx_equal ?(rel = 1e-9) ?(abs = 1e-12) x y =
     let diff = Float.abs (x -. y) in
     diff <= abs || diff <= rel *. Float.max (Float.abs x) (Float.abs y)
 
+(* Map a float to a point on the integer number line where consecutive
+   representable floats are consecutive integers ("ordered" IEEE-754
+   bits): negative floats have their payload bits flipped so the mapping
+   is monotone across zero.  The distance between two mapped values is
+   then the count of representable floats strictly between them plus
+   one — the units-in-the-last-place separation. *)
+let ordered_bits x =
+  let bits = Int64.bits_of_float x in
+  if Int64.compare bits 0L < 0 then Int64.sub Int64.min_int bits else bits
+
+let ulps_apart x y =
+  if Float.is_nan x || Float.is_nan y then None
+  else
+    let d = Int64.sub (ordered_bits x) (ordered_bits y) in
+    let d = Int64.abs d in
+    if Int64.compare d 0L < 0 then None (* Int64.abs min_int *)
+    else Some d
+
+let within_ulps ?(ulps = 8) x y =
+  match ulps_apart x y with
+  | None -> false
+  | Some d -> Int64.compare d (Int64.of_int ulps) <= 0
+
 let log2 x = log x /. log 2.0
 
 let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x

@@ -52,6 +52,7 @@ hit, and the metric deltas carry the exact hit/miss/insertion counts:
   $ grep -E '^  blitz_cache' explain.txt
     blitz_cache_hits_total 2
     blitz_cache_insertions_total 1
+    blitz_cache_lookup_seconds count=3
     blitz_cache_misses_total 1
 
 --repeat must be positive:

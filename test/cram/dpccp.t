@@ -1,0 +1,70 @@
+The connectivity-pruned DP (dpccp) and the DPconv bottleneck driver,
+end to end through the CLI.  Timing lines are stripped (they vary).
+
+An explicit optimizer selection on a sparse query — the product-free
+plan space contains the optimum here, so the plan matches blitzsplit's:
+
+  $ blitz optimize -n 10 --topology chain --mean-card 100 --optimizer dpccp | grep -v '^time:'
+  query:      n=10 chain k0 mu=100 v=0.00
+  model:      kdnl
+  plan:       (((((R0 x R5) x R1) x R6) x R2) x ((R3 x ((R4 x R9) x R8)) x R7))
+  cost:       137.729
+  cardinality:100
+  shape:      bushy, 0 cartesian product(s)
+
+Past the 24-relation dense-table ceiling the sparse backend takes over:
+n = 30 on a chain is (n^3 - n)/6 = 4495 csg-cmp pairs, far beyond
+blitzsplit's reach (the plain exact optimizer refuses outright):
+
+  $ blitz optimize -n 30 --topology chain --mean-card 1000
+  blitz: 30 relations exceed the 24-relation DP table; use --hybrid for large queries
+  [1]
+  $ blitz optimize -n 30 --topology chain --mean-card 1000 --optimizer dpccp | grep -vE '^(time|plan):'
+  query:      n=30 chain k0 mu=1000 v=0.00
+  model:      kdnl
+  cost:       3652.93
+  cardinality:1000
+  shape:      bushy, 0 cartesian product(s)
+
+DPconv minimizes the bottleneck intermediate (C_max) by subset-sum
+convolution; the registry re-costs its plan under the session model:
+
+  $ blitz optimize -n 8 --topology star --mean-card 100 --optimizer dpconv | grep -v '^time:'
+  query:      n=8 star k0 mu=100 v=0.00
+  model:      kdnl
+  plan:       (R0 x (R1 x (R2 x (R3 x (R4 x (R5 x (R6 x R7)))))))
+  cost:       217.071
+  cardinality:100
+  shape:      bushy, 0 cartesian product(s)
+
+explain surfaces the csg-cmp pair count (the work metric that replaces
+split-loop iterations) and the per-pair rate histogram:
+
+  $ blitz explain -n 8 --topology chain --mean-card 100 --optimizer dpccp | grep -E 'ccp pairs|ns_per_pair|note:'
+  note:       84 csg-cmp pairs over 36 connected sets (dense backend)
+    ccp pairs:           84
+    blitz_dpccp_ns_per_pair count=1
+
+The comparison sweep picks both methods up from the registry (time
+column dropped — it varies):
+
+  $ blitz compare -n 8 --topology chain --mean-card 100 | awk '$1 == "dpccp" || $1 == "dpconv" { print $1, $3 }'
+  dpccp 1.0000
+  dpconv 1.0000
+
+Cartesian products are outside dpccp's plan space, so a disconnected
+join graph is refused upfront — and handled by dpconv, whose space
+includes products:
+
+  $ cat > disc.sql <<SQL
+  > CREATE TABLE a (CARDINALITY 40);
+  > CREATE TABLE b (CARDINALITY 30);
+  > CREATE TABLE c (CARDINALITY 20);
+  > SELECT * FROM a, b, c WHERE a.x = b.x {0.05};
+  > SQL
+  $ blitz optimize --sql disc.sql --optimizer dpccp
+  blitz: dpccp is not eligible here: join graph is disconnected (method excludes Cartesian products)
+  [1]
+  $ blitz optimize --sql disc.sql --optimizer dpconv | grep -E '^(plan|shape):'
+  plan:       (a x (b x c))
+  shape:      bushy, 1 cartesian product(s)

@@ -28,6 +28,7 @@ deadline-exempt tier — answers, with the abort recorded:
   provenance:
     exact: aborted (deadline) after Xms
     thresholded: skipped (deadline expired)
+    dpccp: skipped (deadline expired)
     hybrid: skipped (deadline expired)
     ikkbz: skipped (deadline expired)
     greedy: produced plan (cost 6.53757e+09) in Xms
@@ -44,6 +45,7 @@ tiers before any allocation; the hybrid's windowed search takes over:
   provenance:
     exact: skipped (DP table needs 10485760 B, ceiling is 1048576 B)
     thresholded: skipped (DP table needs 10485760 B, ceiling is 1048576 B)
+    dpccp: skipped (DP table needs 10485760 B, ceiling is 1048576 B)
     hybrid: produced plan (cost 751.767) in Xms
 
 Nonsense budgets are rejected up front:

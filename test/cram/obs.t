@@ -63,8 +63,11 @@ cost, the split-loop counters, and the counter/gauge deltas of the run:
     blitz_arena_acquires 1
     blitz_arena_grows 1
     blitz_arena_resident_bytes 640
+    blitz_engine_optimize_seconds count=1
+    blitz_engine_plan_cost count=1
     blitz_engine_queries_total 1
     blitz_registry_calls_total{optimizer=exact} 1
+    blitz_split_loop_ns_per_subset count=1
 
 explain rejects optimizers the query is not eligible for:
 

@@ -1,10 +1,19 @@
 (* DPccp: enumerator counts against the closed-form formulas and the
-   optimizer against the size-driven no-products baseline. *)
+   optimizer against the size-driven no-products baseline; then the
+   production [blitz_dpccp] library against the baseline, against
+   blitzsplit (bit-identity where the spaces agree), across its two
+   backends, and the DPconv bottleneck driver against a brute-force
+   oracle over every bushy plan. *)
 
 open Test_helpers
 module Dpccp = Blitz_baselines.Dpccp
 module Dpsize = Blitz_baselines.Dpsize
 module Topology = Blitz_graph.Topology
+module Ccp_enum = Blitz_dpccp.Ccp_enum
+module Dpccp2 = Blitz_dpccp.Dpccp
+module Dpconv = Blitz_dpccp.Dpconv
+module Blitzsplit = Blitz_core.Blitzsplit
+module Float_more = Blitz_util.Float_more
 
 let graph_of topo n =
   let catalog = Catalog.uniform ~n ~card:100.0 in
@@ -96,6 +105,186 @@ let prop_every_pair_connected =
       let b = Dpsize.optimize ~cartesian:false p.model p.catalog p.graph in
       !ok && Hashtbl.length seen = b.Dpsize.joins_built)
 
+(* ---- the production blitz_dpccp library ---- *)
+
+let test_enum_matches_baseline () =
+  (* The zero-allocation enumerator and the baseline agree on both
+     counts for every paper topology, including cycles. *)
+  List.iter
+    (fun topo ->
+      List.iter
+        (fun n ->
+          let g = graph_of topo n in
+          let name = Topology.name topo in
+          Alcotest.(check int)
+            (Printf.sprintf "%s csg n=%d" name n)
+            (Dpccp.csg_count g) (Ccp_enum.csg_count g);
+          Alcotest.(check int)
+            (Printf.sprintf "%s ccp n=%d" name n)
+            (Dpccp.ccp_count g) (Ccp_enum.ccp_count g))
+        [ 3; 5; 8; 10 ])
+    [ Topology.Chain; Topology.Cycle_plus 0; Topology.Star; Topology.Clique ]
+
+let test_enum_closed_forms () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "chain ccp n=%d" n)
+        (chain_ccp n)
+        (Ccp_enum.ccp_count (graph_of Topology.Chain n));
+      Alcotest.(check int)
+        (Printf.sprintf "star ccp n=%d" n)
+        (star_ccp n)
+        (Ccp_enum.ccp_count (graph_of Topology.Star n));
+      Alcotest.(check int)
+        (Printf.sprintf "clique ccp n=%d" n)
+        (clique_ccp n)
+        (Ccp_enum.ccp_count (graph_of Topology.Clique n)))
+    [ 2; 3; 5; 8; 10 ]
+
+(* An index-ordered path 0-1-2-3-4 (Topology.Chain wires the paper's
+   interleaved order, which would obscure these adjacency checks). *)
+let path n =
+  Join_graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1, 0.1)))
+
+let test_neighborhood () =
+  let g = path 5 in
+  let set l = List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 l in
+  Alcotest.(check int) "chain nbh of {2}" (set [ 1; 3 ]) (Ccp_enum.neighborhood g (set [ 2 ]) 0);
+  Alcotest.(check int) "chain nbh minus forbidden" (set [ 3 ])
+    (Ccp_enum.neighborhood g (set [ 2 ]) (set [ 1 ]));
+  Alcotest.(check int) "chain nbh of {1,2,3}" (set [ 0; 4 ])
+    (Ccp_enum.neighborhood g (set [ 1; 2; 3 ]) 0);
+  let star = Join_graph.of_edges ~n:5 (List.init 4 (fun i -> (0, i + 1, 0.1))) in
+  Alcotest.(check int) "star nbh of hub" (set [ 1; 2; 3; 4 ])
+    (Ccp_enum.neighborhood star (set [ 0 ]) 0)
+
+(* Satellite coverage: the Join_graph connectivity helpers the
+   enumerator and the registry eligibility check lean on. *)
+let test_connectivity_helpers () =
+  let chain = path 5 in
+  Alcotest.(check bool) "chain connected" true (Join_graph.is_connected chain);
+  Alcotest.(check bool) "chain {0,2} not connected" false
+    (Join_graph.is_connected_subset chain 0b101);
+  Alcotest.(check bool) "chain {0,1,2} connected" true
+    (Join_graph.is_connected_subset chain 0b111);
+  Alcotest.(check bool) "singleton connected" true (Join_graph.is_connected_subset chain 0b100);
+  Alcotest.(check bool) "empty connected" true (Join_graph.is_connected_subset chain 0);
+  let split = Join_graph.of_edges ~n:4 [ (0, 1, 0.1); (2, 3, 0.1) ] in
+  Alcotest.(check bool) "two components not connected" false (Join_graph.is_connected split);
+  Alcotest.(check bool) "component connected" true (Join_graph.is_connected_subset split 0b0011);
+  Alcotest.(check bool) "crosses within component" true (Join_graph.crosses split 0b0001 0b0010);
+  Alcotest.(check bool) "no cross between components" false
+    (Join_graph.crosses split 0b0011 0b1100);
+  let single = Join_graph.of_edges ~n:1 [] in
+  Alcotest.(check bool) "single relation connected" true (Join_graph.is_connected single)
+
+let prop_new_matches_baseline =
+  QCheck2.Test.make ~count:120 ~name:"blitz_dpccp optimum = baseline DPccp"
+    ~print:problem_print (problem_gen ~max_n:9)
+    (fun p ->
+      let a = Dpccp2.optimize p.model p.catalog p.graph in
+      let b = Dpccp.optimize p.model p.catalog p.graph in
+      match (a.Dpccp2.plan, b.Dpccp.plan) with
+      | None, None -> a.Dpccp2.cost = Float.infinity
+      | Some pl, Some _ ->
+        Float_more.approx_equal ~rel:1e-6 a.Dpccp2.cost b.Dpccp.cost
+        && Plan.cartesian_join_count p.graph pl = 0
+        && Float_more.approx_equal ~rel:1e-9 a.Dpccp2.cost
+             (Plan.cost p.model p.catalog p.graph pl)
+      | Some _, None | None, Some _ -> false)
+
+let prop_bit_identity_vs_blitzsplit =
+  (* The headline gate: on the dense backend, whenever blitzsplit's
+     optimum is product-free the dpccp cost must agree to <= 8 ulps
+     (the backends share Split_loop's fan recurrence, so in practice
+     bitwise); when the optimum needs a Cartesian product, excluding
+     products can only cost more. *)
+  QCheck2.Test.make ~count:150 ~name:"dpccp vs blitzsplit: <= 8 ulps or dominated"
+    ~print:problem_print (problem_gen ~max_n:9)
+    (fun p ->
+      if not (Join_graph.is_connected p.graph) then true
+      else begin
+        let b = Blitzsplit.optimize_join p.model p.catalog p.graph in
+        let blitz_cost = Blitzsplit.best_cost b in
+        let blitz_plan = Blitzsplit.best_plan_exn b in
+        let a = Dpccp2.optimize ~backend:`Dense p.model p.catalog p.graph in
+        if Plan.cartesian_join_count p.graph blitz_plan = 0 then
+          Float_more.within_ulps ~ulps:8 a.Dpccp2.cost blitz_cost
+        else a.Dpccp2.cost >= blitz_cost *. (1.0 -. 1e-12)
+      end)
+
+let prop_sparse_matches_dense =
+  QCheck2.Test.make ~count:120 ~name:"dpccp sparse backend = dense backend"
+    ~print:problem_print (problem_gen ~max_n:9)
+    (fun p ->
+      let d = Dpccp2.optimize ~backend:`Dense p.model p.catalog p.graph in
+      let s = Dpccp2.optimize ~backend:`Sparse p.model p.catalog p.graph in
+      d.Dpccp2.connected_sets = s.Dpccp2.connected_sets
+      && d.Dpccp2.ccp_pairs = s.Dpccp2.ccp_pairs
+      &&
+      match (d.Dpccp2.plan, s.Dpccp2.plan) with
+      | None, None -> true
+      | Some _, Some sp ->
+        Float_more.approx_equal ~rel:1e-6 d.Dpccp2.cost s.Dpccp2.cost
+        && (match Plan.validate ~n:(Catalog.n p.catalog) sp with Ok () -> true | Error _ -> false)
+        && Plan.leaf_count sp = Catalog.n p.catalog
+      | Some _, None | None, Some _ -> false)
+
+let test_dpccp_counts_and_table () =
+  (* connected_sets/ccp_pairs surface exactly the enumerator's counts;
+     the dense backend exposes its DP table, the sparse one does not. *)
+  let g = graph_of Topology.Chain 8 in
+  let catalog = Catalog.uniform ~n:8 ~card:100.0 in
+  let d = Dpccp2.optimize ~backend:`Dense Cost_model.naive catalog g in
+  Alcotest.(check int) "connected sets" (Ccp_enum.csg_count g) d.Dpccp2.connected_sets;
+  Alcotest.(check int) "ccp pairs" (Ccp_enum.ccp_count g) d.Dpccp2.ccp_pairs;
+  Alcotest.(check bool) "dense table exposed" true (d.Dpccp2.table <> None);
+  Alcotest.(check bool) "dense backend reported" true (d.Dpccp2.backend = Dpccp2.Dense);
+  let s = Dpccp2.optimize ~backend:`Sparse Cost_model.naive catalog g in
+  Alcotest.(check bool) "sparse has no table" true (s.Dpccp2.table = None)
+
+(* ---- DPconv ---- *)
+
+let rec plan_bottleneck catalog graph = function
+  | Plan.Leaf _ -> 0.0
+  | Plan.Join (l, r) as p ->
+    Float.max
+      (Plan.cardinality catalog graph p)
+      (Float.max (plan_bottleneck catalog graph l) (plan_bottleneck catalog graph r))
+
+let prop_dpconv_bottleneck_optimal =
+  (* Oracle: minimize the largest intermediate over EVERY bushy plan
+     (products included — dpconv's space).  The convolution driver must
+     match, and its own plan must attain the reported bottleneck. *)
+  QCheck2.Test.make ~count:80 ~name:"dpconv bottleneck = brute-force minimum"
+    ~print:problem_print (problem_gen ~max_n:7)
+    (fun p ->
+      let n = Catalog.n p.catalog in
+      let full = (1 lsl n) - 1 in
+      let oracle =
+        List.fold_left
+          (fun acc pl -> Float.min acc (plan_bottleneck p.catalog p.graph pl))
+          Float.infinity (Plan.enumerate full)
+      in
+      let r = Dpconv.optimize p.catalog p.graph in
+      Float_more.approx_equal ~rel:1e-9 r.Dpconv.bottleneck oracle
+      && Float_more.approx_equal ~rel:1e-9
+           (plan_bottleneck p.catalog p.graph r.Dpconv.plan)
+           r.Dpconv.bottleneck
+      && Plan.leaf_count r.Dpconv.plan = n
+      && match Plan.validate ~n r.Dpconv.plan with Ok () -> true | Error _ -> false)
+
+let test_dpconv_disconnected () =
+  (* Cartesian products are in dpconv's space: a graph dpccp refuses
+     still gets a plan, and the bottleneck is the full cross product. *)
+  let catalog = Catalog.of_cards [| 10.0; 20.0; 30.0 |] in
+  let graph = Join_graph.of_edges ~n:3 [ (0, 1, 0.1) ] in
+  let r = Dpconv.optimize catalog graph in
+  Alcotest.(check int) "all leaves" 3 (Plan.leaf_count r.Dpconv.plan);
+  check_float "bottleneck is final result card" (10.0 *. 20.0 *. 30.0 *. 0.1)
+    r.Dpconv.bottleneck
+
 let suite =
   [
     Alcotest.test_case "connected-subgraph counts" `Quick test_csg_counts;
@@ -104,4 +293,14 @@ let suite =
     Alcotest.test_case "small chain plan" `Quick test_small_chain_plan;
     QCheck_alcotest.to_alcotest prop_matches_dpsize_no_products;
     QCheck_alcotest.to_alcotest prop_every_pair_connected;
+    Alcotest.test_case "enumerator matches baseline counts" `Quick test_enum_matches_baseline;
+    Alcotest.test_case "enumerator closed forms" `Quick test_enum_closed_forms;
+    Alcotest.test_case "neighborhood helper" `Quick test_neighborhood;
+    Alcotest.test_case "join-graph connectivity helpers" `Quick test_connectivity_helpers;
+    Alcotest.test_case "result counts and table exposure" `Quick test_dpccp_counts_and_table;
+    Alcotest.test_case "dpconv handles disconnected graphs" `Quick test_dpconv_disconnected;
+    QCheck_alcotest.to_alcotest prop_new_matches_baseline;
+    QCheck_alcotest.to_alcotest prop_bit_identity_vs_blitzsplit;
+    QCheck_alcotest.to_alcotest prop_sparse_matches_dense;
+    QCheck_alcotest.to_alcotest prop_dpconv_bottleneck_optimal;
   ]

@@ -125,7 +125,8 @@ let prop_parallel_matches_sequential =
         (fun d ->
           let par_ctr = Counters.create () in
           let par =
-            Parallel.optimize_join ~num_domains:d ~counters:par_ctr model catalog graph
+            Parallel.optimize_join ~num_domains:d ~min_parallel_n:2 ~counters:par_ctr model
+              catalog graph
           in
           let msg what = Printf.sprintf "domains=%d %s" d what in
           if compare (Blitzsplit.best_cost seq) (Blitzsplit.best_cost par) <> 0 then
@@ -155,7 +156,9 @@ let test_parallel_product_identical () =
   let seq = Blitzsplit.optimize_product Cost_model.naive catalog in
   List.iter
     (fun d ->
-      let par = Parallel.optimize_product ~num_domains:d Cost_model.naive catalog in
+      let par =
+        Parallel.optimize_product ~num_domains:d ~min_parallel_n:2 Cost_model.naive catalog
+      in
       check_identical ~msg:(Printf.sprintf "product domains=%d" d) seq par;
       Alcotest.(check bool)
         "product table has no fan column" false
@@ -164,9 +167,11 @@ let test_parallel_product_identical () =
 
 let test_parallel_product_equals_empty_graph_join () =
   let catalog = random_catalog (Rng.create ~seed:11) ~n:9 ~lo:1.0 ~hi:1e3 in
-  let product = Parallel.optimize_product ~num_domains:2 Cost_model.naive catalog in
+  let product =
+    Parallel.optimize_product ~num_domains:2 ~min_parallel_n:2 Cost_model.naive catalog
+  in
   let join =
-    Parallel.optimize_join ~num_domains:2 Cost_model.naive catalog
+    Parallel.optimize_join ~num_domains:2 ~min_parallel_n:2 Cost_model.naive catalog
       (Join_graph.of_edges ~n:9 [])
   in
   check_identical ~msg:"product vs empty-graph join" product join
@@ -181,7 +186,8 @@ let test_parallel_threshold_multipass () =
   List.iter
     (fun d ->
       let par =
-        Parallel.threshold_optimize_product ~num_domains:d ~growth:10.0 ~threshold:100.0
+        Parallel.threshold_optimize_product ~num_domains:d ~min_parallel_n:2 ~growth:10.0
+          ~threshold:100.0
           Cost_model.naive abcd_catalog
       in
       Alcotest.(check int) "same pass count" seq.Threshold.passes par.Threshold.passes;
@@ -223,7 +229,7 @@ let test_parallel_deadline_aborts_within_one_chunk () =
         Blitzsplit.Interrupted
         (fun () ->
           ignore
-            (Parallel.optimize_product ~num_domains:d ~counters:ctr
+            (Parallel.optimize_product ~num_domains:d ~min_parallel_n:2 ~counters:ctr
                ~interrupt:(Budget.interrupt budget) Cost_model.naive catalog));
       Alcotest.(check bool)
         (Printf.sprintf "domains=%d stopped within one chunk (%d subsets)" d
