@@ -7,10 +7,10 @@
 
 module Registry = Blitz_engine.Registry
 
-let run ?(optimizer = "exact") ?arena ?pool ?num_domains ?counters ?threshold ?seed model catalog
-    graph =
+let run ?(optimizer = "exact") ?arena ?pool ?num_domains ?counters ?threshold ?seed ?multiway
+    model catalog graph =
   Registry.optimize ~optimizer
-    (Registry.ctx ?arena ?pool ?num_domains ?counters ?threshold ?seed model)
+    (Registry.ctx ?arena ?pool ?num_domains ?counters ?threshold ?seed ?multiway model)
     { Registry.catalog; graph }
 
 let cost ?optimizer ?arena ?pool ?num_domains ?counters ?threshold ?seed model catalog graph =

@@ -1,0 +1,174 @@
+(* Experiment "hyper": the hybrid bushy+multiway optimizer.
+
+   Two claims, each a CI-visible gate:
+
+   1. ACYCLIC SAFETY — on chains, stars and random trees the --multiway
+      run is bit-identical to the seed blitzsplit: same cost to the last
+      bit, same plan, zero multiway winners.  The structural gate (only
+      2-edge-connected induced subgraphs get an n-ary candidate) makes
+      this a property of the code path, not of float luck.
+
+   2. CYCLIC WINS — over a sweep of cyclic topologies (cliques, grids,
+      cycles) at n >= 8, the hybrid's estimated cost is strictly below
+      the best pure-binary plan on a majority of cells.  Every cell is
+      emitted with provenance (both costs, the number of subsets the
+      n-ary candidate won, the node count in the winning plan).  The
+      losing cells are the honest story: on sparse cycles the n-ary
+      build term (sum of all input cardinalities) already exceeds the
+      whole binary plan, so the AGM candidate never fires — the
+      technique pays off on dense cyclic cores, and the sweep says so
+      per cell rather than averaging it away.
+
+   `bench hyper --json BENCH_hyper.json` records the sweep. *)
+
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Topology = Blitz_graph.Topology
+module Cost_model = Blitz_cost.Cost_model
+module Plan = Blitz_plan.Plan
+module Blitzsplit = Blitz_core.Blitzsplit
+module Counters = Blitz_core.Counters
+module Rng = Blitz_util.Rng
+module Workload = Blitz_workload.Workload
+module Json = Blitz_util.Json
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let workload n topo v =
+  Workload.problem
+    (Workload.spec ~n ~topology:topo ~model:Cost_model.kdnl ~mean_card:100.0 ~variability:v)
+
+let random_tree ~seed ~n =
+  let rng = Rng.create ~seed in
+  let catalog = Catalog.of_cards (Array.init n (fun _ -> Rng.log_uniform rng ~lo:1.0 ~hi:1e4)) in
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    let p = Rng.int rng i in
+    edges := (p, i, Rng.log_uniform rng ~lo:1e-4 ~hi:1.0) :: !edges
+  done;
+  (catalog, Join_graph.of_edges ~n !edges)
+
+let run () =
+  Bench_config.header "Hyper: hybrid bushy+multiway vs pure-binary (kappa_dnl)";
+  let model = Cost_model.kdnl in
+  let gate_failures = ref [] in
+  let gate name ok detail =
+    if not ok then gate_failures := Printf.sprintf "%s: %s" name detail :: !gate_failures
+  in
+
+  (* {2 Gate 1: acyclic topologies are bit-identical to the seed} *)
+  let acyclic_cells = ref 0 in
+  let check_acyclic label catalog graph =
+    incr acyclic_cells;
+    let ctr = Counters.create () in
+    let seed_run = Blitzsplit.optimize_join model catalog graph in
+    let mw_run = Blitzsplit.optimize_join ~counters:ctr ~multiway:true model catalog graph in
+    let seed_cost = Blitzsplit.best_cost seed_run in
+    let mw_cost = Blitzsplit.best_cost mw_run in
+    let nodes =
+      match Blitzsplit.best_plan mw_run with Some p -> Plan.multiway_count p | None -> 0
+    in
+    gate
+      (Printf.sprintf "acyclic bit-identity %s" label)
+      (same_float seed_cost mw_cost && nodes = 0 && ctr.Counters.multiway_wins = 0)
+      (Printf.sprintf "seed %.17g vs multiway %.17g, %d n-ary node(s), %d win(s)" seed_cost
+         mw_cost nodes ctr.Counters.multiway_wins);
+    Bench_json.emit ~experiment:"hyper"
+      [
+        ("kind", Json.String "acyclic");
+        ("cell", Json.String label);
+        ("cost", Json.Float seed_cost);
+        ("bit_identical", Json.Bool (same_float seed_cost mw_cost));
+        ("multiway_wins", Json.Int ctr.Counters.multiway_wins);
+      ]
+  in
+  let acyclic_ns = if Bench_config.fast then [ 8; 10 ] else [ 6; 8; 10; 12; 14 ] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun v ->
+          let catalog, graph = workload n Topology.Chain v in
+          check_acyclic (Printf.sprintf "chain n=%d v=%.1f" n v) catalog graph;
+          let catalog, graph = workload n Topology.Star v in
+          check_acyclic (Printf.sprintf "star n=%d v=%.1f" n v) catalog graph)
+        [ 0.0; 0.5; 1.0 ])
+    acyclic_ns;
+  List.iter
+    (fun seed ->
+      let n = 6 + (seed mod 7) in
+      let catalog, graph = random_tree ~seed ~n in
+      check_acyclic (Printf.sprintf "tree seed=%d n=%d" seed n) catalog graph)
+    (List.init (if Bench_config.fast then 5 else 20) (fun i -> i + 1));
+  Printf.printf "  acyclic: %d cells, all bit-identical to the seed optimizer\n" !acyclic_cells;
+
+  (* {2 Gate 2: cyclic sweep — hybrid strictly below binary on a
+     majority of cells, per-cell provenance} *)
+  let cells = ref [] in
+  let sweep label catalog graph =
+    let ctr = Counters.create () in
+    let binary = Blitzsplit.best_cost (Blitzsplit.optimize_join model catalog graph) in
+    let hybrid_run = Blitzsplit.optimize_join ~counters:ctr ~multiway:true model catalog graph in
+    let hybrid = Blitzsplit.best_cost hybrid_run in
+    let nodes =
+      match Blitzsplit.best_plan hybrid_run with Some p -> Plan.multiway_count p | None -> 0
+    in
+    let improved = hybrid < binary in
+    gate
+      (Printf.sprintf "hybrid never worse (%s)" label)
+      (hybrid <= binary)
+      (Printf.sprintf "hybrid %.17g above binary %.17g" hybrid binary);
+    cells := (label, improved) :: !cells;
+    Printf.printf "  %-22s binary %12.6g   hybrid %12.6g   %s (%d n-ary win(s), %d in plan)\n"
+      label binary hybrid
+      (if improved then "WIN " else "tie ")
+      ctr.Counters.multiway_wins nodes;
+    Bench_json.emit ~experiment:"hyper"
+      [
+        ("kind", Json.String "cyclic");
+        ("cell", Json.String label);
+        ("binary_cost", Json.Float binary);
+        ("hybrid_cost", Json.Float hybrid);
+        ("improved", Json.Bool improved);
+        ("multiway_wins", Json.Int ctr.Counters.multiway_wins);
+        ("multiway_nodes_in_plan", Json.Int nodes);
+      ]
+  in
+  let clique_ns = if Bench_config.fast then [ 8; 9 ] else [ 8; 9; 10; 11; 12 ] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun v ->
+          let catalog, graph = workload n Topology.Clique v in
+          sweep (Printf.sprintf "clique n=%d v=%.1f" n v) catalog graph)
+        [ 0.0; 0.5 ])
+    clique_ns;
+  List.iter
+    (fun (r, c) ->
+      let n = r * c in
+      let catalog, graph = workload n (Topology.Grid (r, c)) 0.0 in
+      sweep (Printf.sprintf "grid %dx%d v=0.0" r c) catalog graph)
+    (if Bench_config.fast then [ (3, 3) ] else [ (3, 3); (3, 4) ]);
+  List.iter
+    (fun n ->
+      let catalog, graph = workload n (Topology.Cycle_plus 0) 0.5 in
+      sweep (Printf.sprintf "cycle n=%d v=0.5" n) catalog graph)
+    (if Bench_config.fast then [ 8 ] else [ 8; 12 ]);
+  let total = List.length !cells in
+  let wins = List.length (List.filter snd !cells) in
+  Printf.printf "  cyclic: hybrid strictly cheaper on %d/%d cells\n" wins total;
+  gate "cyclic majority"
+    (2 * wins > total)
+    (Printf.sprintf "only %d of %d cells improved" wins total);
+  Bench_json.emit ~experiment:"hyper"
+    [
+      ("kind", Json.String "summary");
+      ("cyclic_cells", Json.Int total);
+      ("cyclic_wins", Json.Int wins);
+      ("acyclic_cells", Json.Int !acyclic_cells);
+      ("fast", Json.Bool Bench_config.fast);
+    ];
+  match !gate_failures with
+  | [] -> Printf.printf "\nall hyper gates passed\n"
+  | fails ->
+    List.iter (fun m -> Printf.printf "GATE FAILED: %s\n" m) fails;
+    failwith (Printf.sprintf "hyper: %d gate(s) failed" (List.length fails))

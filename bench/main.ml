@@ -2,7 +2,7 @@
 
    Usage:  dune exec bench/main.exe [--] [--json FILE] [experiment ...]
    Experiments: table1 fig2 fig4 fig5 fig6 counts compare ablation
-   models parallel dpconv throughput obs cache robust bechamel all (default: all).  [--json FILE] arms the
+   models parallel dpconv hyper throughput obs cache robust bechamel all (default: all).  [--json FILE] arms the
    shared Bench_json collector: experiments that emit records get them
    written to FILE as one blitz-bench/1 document at exit.  Environment:
    BLITZ_BENCH_N, BLITZ_BENCH_FAST (see bench_config.ml).
@@ -21,6 +21,7 @@ let experiments =
     ("models", Exp_models.run);
     ("parallel", Exp_parallel.run);
     ("dpconv", Exp_dpconv.run);
+    ("hyper", Exp_hyper.run);
     ("throughput", Exp_throughput.run);
     ("obs", Exp_obs.run);
     ("cache", Exp_cache.run);

@@ -347,9 +347,17 @@ let optimize_cmd =
                 is checked against the entry's capability metadata, so e.g. dpccp accepts \
                 sparse queries far beyond the dense DP-table cap.")
   in
+  let multiway_arg =
+    Arg.(
+      value & flag
+      & info [ "multiway" ]
+          ~doc:"Let capable optimizers (exact, thresholded, dpccp) plan n-ary hash-join nodes \
+                on cyclic cores, costed by an AGM-derived fractional edge cover.  Acyclic \
+                queries are structurally unaffected; incapable optimizers ignore the flag.")
+  in
   let run problem model threshold growth dump_table annotate execute seed physical hybrid degrade
       deadline_ms max_table_mb num_domains cache repeat metrics trace scramble corrupt_seed
-      optimizer_name =
+      multiway optimizer_name =
     obs_arm ~metrics ~trace;
     let names = Catalog.names problem.catalog in
     let num_domains =
@@ -412,19 +420,21 @@ let optimize_cmd =
          before (no session). *)
       let guarded () =
         match cache with
-        | None -> Guard.optimize ~budget ~seed ~num_domains model problem.catalog problem.graph
+        | None ->
+          Guard.optimize ~budget ~seed ~num_domains ~multiway model problem.catalog
+            problem.graph
         | Some c ->
           Engine.with_session ~model ~num_domains ~cache:c (fun session ->
               let rec go k last =
                 if k = 0 then last
                 else
                   go (k - 1)
-                    (Guard.optimize ~budget ~session ~seed ~num_domains model problem.catalog
-                       problem.graph)
+                    (Guard.optimize ~budget ~session ~seed ~num_domains ~multiway model
+                       problem.catalog problem.graph)
               in
               go (repeat - 1)
-                (Guard.optimize ~budget ~session ~seed ~num_domains model problem.catalog
-                   problem.graph))
+                (Guard.optimize ~budget ~session ~seed ~num_domains ~multiway model
+                   problem.catalog problem.graph))
       in
       match guarded () with
       | Error e ->
@@ -526,13 +536,13 @@ let optimize_cmd =
        cold the first time, answered from the cache (when enabled) after. *)
     let run_once () =
       match threshold with
-      | None -> Engine.optimize ~optimizer session prob
+      | None -> Engine.optimize ~optimizer ~multiway session prob
       | Some _ ->
         (* An explicit threshold carries the --growth escalation policy,
            which lives on the raw registry ctx (and bypasses the cache:
            thresholded outcomes under a caller threshold are
            caller-dependent). *)
-        Registry.optimize ~optimizer (Engine.ctx ?threshold ~growth session) prob
+        Registry.optimize ~optimizer (Engine.ctx ?threshold ~growth ~multiway session) prob
     in
     let outcome = ref (run_once ()) in
     for _ = 2 to repeat do
@@ -554,6 +564,9 @@ let optimize_cmd =
     Printf.printf "shape:      %s, %d cartesian product(s)\n"
       (if Plan.is_left_deep plan then "left-deep" else "bushy")
       (Plan.cartesian_join_count problem.graph plan);
+    if multiway then
+      Printf.printf "multiway:   %d n-ary node(s) in the winning plan\n"
+        (Plan.multiway_count plan);
     Printf.printf "time:       %.4fs (%d pass(es)%s)\n" elapsed outcome.Registry.passes
       (if repeat > 1 then Printf.sprintf ", %d runs" repeat else "");
     print_cache_line cache;
@@ -598,7 +611,8 @@ let optimize_cmd =
       const run $ problem_term $ model_arg $ threshold_arg $ growth_arg $ dump_table_arg
       $ annotate_arg $ execute_arg $ seed_arg $ physical_arg $ hybrid_arg $ degrade_arg
       $ deadline_ms_arg $ max_table_mb_arg $ num_domains_arg $ cache_term $ repeat_arg
-      $ metrics_arg $ trace_arg $ scramble_arg $ corrupt_seed_arg $ optimizer_arg)
+      $ metrics_arg $ trace_arg $ scramble_arg $ corrupt_seed_arg $ multiway_arg
+      $ optimizer_arg)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a join query with the blitzsplit algorithm")
@@ -712,7 +726,14 @@ let explain_cmd =
       & info [ "threshold" ] ~docv:"COST"
           ~doc:"Initial plan-cost threshold for the thresholded optimizer.")
   in
-  let run problem model optimizer num_domains threshold cache repeat metrics trace =
+  let multiway_arg =
+    Arg.(
+      value & flag
+      & info [ "multiway" ]
+          ~doc:"Let capable optimizers plan n-ary hash-join nodes on cyclic cores; the plan \
+                tree renders each with its fractional edge-cover weights and AGM bound.")
+  in
+  let run problem model optimizer num_domains threshold multiway cache repeat metrics trace =
     (* Explain always records: the whole point is showing what the run
        did.  The process is this one query, so the metrics ARE the run's
        deltas. *)
@@ -745,12 +766,12 @@ let explain_cmd =
     let outcome =
       Engine.with_session ~model ~num_domains ?cache (fun session ->
           let prob = Registry.problem ~graph:problem.graph problem.catalog in
-          let o = ref (Engine.optimize ~optimizer ?threshold session prob) in
+          let o = ref (Engine.optimize ~optimizer ?threshold ~multiway session prob) in
           (* Repeats replay the query through the session; with --cache
              every run after the first is answered from the cache, and
              the metric deltas below show the hit/miss counters. *)
           for _ = 2 to repeat do
-            o := Engine.optimize ~optimizer ?threshold session prob
+            o := Engine.optimize ~optimizer ?threshold ~multiway session prob
           done;
           let o = !o in
           { o with Registry.table = None; counters = Option.map Counters.copy o.Registry.counters })
@@ -800,6 +821,29 @@ let explain_cmd =
           (Plan.cost model problem.catalog problem.graph p);
         render (indent ^ "  ") l;
         render (indent ^ "  ") r
+      | Plan.Multiway { inputs; cover; _ } ->
+        (* The AGM bound and cover are re-solved against this problem's
+           statistics, matching what the cost column charges. *)
+        let solved = Blitz_cost.Agm.of_join_graph problem.catalog problem.graph (Plan.relations p) in
+        let cover = if solved.Blitz_cost.Agm.weights = [] then cover else solved.Blitz_cost.Agm.weights in
+        Printf.printf "%smultiway %s  card=%g  agm=%g  cost=%g\n" indent
+          (Blitz_bitset.Relset.to_string ~names (Plan.relations p))
+          (Plan.cardinality problem.catalog problem.graph p)
+          solved.Blitz_cost.Agm.bound
+          (Plan.cost model problem.catalog problem.graph p);
+        if cover <> [] then
+          Printf.printf "%s  cover:%s\n" indent
+            (String.concat ""
+               (List.map
+                  (fun (members, w) ->
+                    Printf.sprintf " {%s}=%g"
+                      (String.concat ","
+                         (List.map
+                            (fun i -> if i < Array.length names then names.(i) else string_of_int i)
+                            members))
+                      w)
+                  cover));
+        List.iter (render (indent ^ "  ")) inputs
     in
     render "  " plan;
     (match outcome.Registry.counters with
@@ -831,7 +875,7 @@ let explain_cmd =
   let term =
     Term.(
       const run $ problem_term $ model_arg $ optimizer_arg $ num_domains_arg $ threshold_arg
-      $ cache_term $ repeat_arg $ metrics_arg $ trace_arg)
+      $ multiway_arg $ cache_term $ repeat_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -883,7 +927,14 @@ let regret_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the full report (per-seed samples included) as JSON.")
   in
-  let run model n mode levels seeds optimizers json =
+  let multiway_arg =
+    Arg.(
+      value & flag
+      & info [ "multiway" ]
+          ~doc:"Let capable optimizers plan n-ary nodes against the perturbed statistics; \
+                regret still re-costs them with the AGM bound re-solved under the truth.")
+  in
+  let run model n mode levels seeds optimizers json multiway =
     if seeds < 1 then `Error (false, Printf.sprintf "--seeds %d must be at least 1" seeds)
     else
       let known = Registry.names () in
@@ -899,7 +950,8 @@ let regret_cmd =
       | exception Failure msg -> `Error (false, msg)
       | () -> (
         match
-          Regret.run ~mode ?optimizers ~levels ~seeds:(List.init seeds (fun i -> i + 1)) ~n model
+          Regret.run ~mode ?optimizers ~levels ~seeds:(List.init seeds (fun i -> i + 1))
+            ~multiway ~n model
         with
         | exception Invalid_argument msg -> `Error (false, msg)
         | report ->
@@ -916,7 +968,7 @@ let regret_cmd =
              (regret = true cost of its choice / true optimal cost)")
     Term.(
       ret (const run $ model_arg $ n_arg $ mode_arg $ levels_arg $ seeds_arg $ optimizers_arg
-           $ json_arg))
+           $ json_arg $ multiway_arg))
 
 (* ---- counters ---- *)
 

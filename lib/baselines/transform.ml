@@ -27,7 +27,8 @@ let rec apply_at plan ~path rule =
   | [] -> apply_root rule plan
   | dir :: rest -> (
     match plan with
-    | Plan.Leaf _ -> None
+    (* Multiway nodes are opaque to the binary rewrite rules. *)
+    | Plan.Leaf _ | Plan.Multiway _ -> None
     | Plan.Join (l, r) ->
       if dir = 0 then
         match apply_at l ~path:rest rule with
@@ -41,7 +42,7 @@ let rec apply_at plan ~path rule =
 let internal_paths plan =
   let acc = ref [] in
   let rec go rev_path = function
-    | Plan.Leaf _ -> ()
+    | Plan.Leaf _ | Plan.Multiway _ -> ()
     | Plan.Join (l, r) ->
       acc := List.rev rev_path :: !acc;
       go (0 :: rev_path) l;

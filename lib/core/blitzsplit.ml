@@ -11,6 +11,7 @@ type t = {
   graph : Join_graph.t;
   model : Cost_model.t;
   threshold : float;
+  multiway : Multiway.t option;
 }
 
 exception Interrupted
@@ -22,7 +23,8 @@ exception Interrupted
    stays invisible next to the [O(3^n)] loop. *)
 let probe_mask = 63
 
-let run ~graph_opt ?arena ?counters ?(threshold = Float.infinity) ?interrupt model catalog =
+let run ~graph_opt ?arena ?counters ?(threshold = Float.infinity) ?interrupt
+    ?(multiway = false) model catalog =
   if threshold <= 0.0 then invalid_arg "Blitzsplit: threshold must be positive";
   let n = Catalog.n catalog in
   let graph =
@@ -42,6 +44,11 @@ let run ~graph_opt ?arena ?counters ?(threshold = Float.infinity) ?interrupt mod
     | Some a -> Arena.acquire a ~with_pi_fan n
     | None -> Dp_table.create ~with_pi_fan n
   in
+  let mw =
+    match graph_opt with
+    | Some g when multiway -> Some (Multiway.create catalog g)
+    | Some _ | None -> None
+  in
   Split_loop.init_singletons tbl model catalog;
   let last = (1 lsl n) - 1 in
   let probe =
@@ -59,7 +66,10 @@ let run ~graph_opt ?arena ?counters ?(threshold = Float.infinity) ?interrupt mod
           if s land (s - 1) <> 0 then begin
             probe s;
             Split_loop.compute_properties_join tbl model graph s;
-            Split_loop.find_best_split tbl model ctr ~threshold s
+            Split_loop.find_best_split tbl model ctr ~threshold s;
+            match mw with
+            | Some m -> Multiway.consider m tbl ctr ~threshold s
+            | None -> ()
           end
         done
       | None ->
@@ -70,10 +80,10 @@ let run ~graph_opt ?arena ?counters ?(threshold = Float.infinity) ?interrupt mod
             Split_loop.find_best_split tbl model ctr ~threshold s
           end
         done);
-  { table = tbl; counters = ctr; catalog; graph; model; threshold }
+  { table = tbl; counters = ctr; catalog; graph; model; threshold; multiway = mw }
 
-let optimize_join ?arena ?counters ?threshold ?interrupt model catalog graph =
-  run ~graph_opt:(Some graph) ?arena ?counters ?threshold ?interrupt model catalog
+let optimize_join ?arena ?counters ?threshold ?interrupt ?multiway model catalog graph =
+  run ~graph_opt:(Some graph) ?arena ?counters ?threshold ?interrupt ?multiway model catalog
 
 let optimize_product ?arena ?counters ?threshold ?interrupt model catalog =
   run ~graph_opt:None ?arena ?counters ?threshold ?interrupt model catalog
@@ -84,11 +94,11 @@ let best_cost t = Dp_table.cost t.table (full_set t)
 
 let feasible t = Float.is_finite (best_cost t)
 
-let best_plan t = Dp_table.extract_plan t.table (full_set t)
+let best_plan t = Multiway.extract_plan ?multiway:t.multiway t.table (full_set t)
 
 let best_plan_exn t =
   match best_plan t with
   | Some plan -> plan
   | None -> failwith "Blitzsplit.best_plan_exn: no plan under the given threshold"
 
-let subplan t s = Dp_table.extract_plan t.table s
+let subplan t s = Multiway.extract_plan ?multiway:t.multiway t.table s

@@ -32,6 +32,9 @@ type t = {
   graph : Join_graph.t;  (** Predicate-free for product optimization. *)
   model : Cost_model.t;
   threshold : float;  (** [infinity] when no threshold was applied. *)
+  multiway : Multiway.t option;
+      (** The n-ary side table when multiway planning was on ([None]
+          otherwise); plan extraction consults it for sentinel entries. *)
 }
 (** The outcome of one optimization pass. *)
 
@@ -45,6 +48,7 @@ val optimize_join :
   ?counters:Counters.t ->
   ?threshold:float ->
   ?interrupt:(unit -> bool) ->
+  ?multiway:bool ->
   Cost_model.t ->
   Catalog.t ->
   Join_graph.t ->
@@ -57,7 +61,10 @@ val optimize_join :
     calls when supplied (fresh otherwise); [threshold] defaults to
     [infinity].  [interrupt] makes the [O(3^n)] DP cancellable: it is
     polled every 64 processed subsets (cheap — [2^n / 64] calls against
-    [3^n] loop work) and a [true] return raises {!Interrupted}.  Raises
+    [3^n] loop work) and a [true] return raises {!Interrupted}.
+    [~multiway:true] additionally tries an n-ary AGM-costed candidate on
+    every 2-edge-connected subset (see {!Multiway}); acyclic queries are
+    structurally unaffected and their tables stay bit-identical.  Raises
     [Invalid_argument] when the graph's size differs from the catalog's,
     or when the catalog exceeds {!Dp_table.max_relations} relations. *)
 

@@ -22,14 +22,14 @@ let optimize ?arena ?counters ?(threshold = Float.infinity) model catalog hyperg
     invalid_arg
       (Printf.sprintf "Blitzsplit_hyper: hypergraph over %d relations, catalog has %d"
          (Hypergraph.n hypergraph) n);
-  let edges = Array.of_list (Hypergraph.edges hypergraph) in
-  let edge_count = Array.length edges in
+  let packed = Hypergraph.pack hypergraph in
+  let edge_count = Hypergraph.packed_edge_count packed in
   if edge_count > max_hyperedges then
     invalid_arg
       (Printf.sprintf "Blitzsplit_hyper: %d hyperedges exceed the %d-bit mask" edge_count
          max_hyperedges);
-  let member_mask = Array.map (fun e -> e.Hypergraph.members) edges in
-  let sel = Array.map (fun e -> e.Hypergraph.selectivity) edges in
+  let member_mask = packed.Hypergraph.members in
+  let sel = packed.Hypergraph.sel in
   let ctr = match counters with Some c -> c | None -> Counters.create () in
   ctr.Counters.passes <- ctr.Counters.passes + 1;
   let tbl =

@@ -70,11 +70,12 @@ let drive ?counters ?growth ?max_passes ~threshold run =
    makes a private one so the multi-pass sequence still shares a table. *)
 let private_arena = function Some a -> a | None -> Arena.create ()
 
-let optimize_join ?arena ?counters ?growth ?max_passes ?interrupt ~threshold model catalog graph
-    =
+let optimize_join ?arena ?counters ?growth ?max_passes ?interrupt ?multiway ~threshold model
+    catalog graph =
   let arena = private_arena arena in
   drive ?counters ?growth ?max_passes ~threshold (fun ~counters ~threshold ->
-      Blitzsplit.optimize_join ~arena ~counters ~threshold ?interrupt model catalog graph)
+      Blitzsplit.optimize_join ~arena ~counters ~threshold ?interrupt ?multiway model catalog
+        graph)
 
 let optimize_product ?arena ?counters ?growth ?max_passes ?interrupt ~threshold model catalog =
   let arena = private_arena arena in

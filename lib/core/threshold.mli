@@ -37,6 +37,7 @@ val optimize_join :
   ?growth:float ->
   ?max_passes:int ->
   ?interrupt:(unit -> bool) ->
+  ?multiway:bool ->
   threshold:float ->
   Cost_model.t ->
   Catalog.t ->
@@ -49,8 +50,11 @@ val optimize_join :
     unthresholded rescue pass guarantees an answer.  [counters]
     accumulates over all passes.  [interrupt] is forwarded to every
     underlying pass; when it fires, {!Blitzsplit.Interrupted} propagates
-    out of the driver.  Raises [Invalid_argument] for non-positive
-    thresholds or [growth <= 1]. *)
+    out of the driver.  [multiway] is likewise forwarded to every pass
+    (threshold semantics are unchanged: the n-ary candidate is accepted
+    only strictly below the pass threshold, so a successful pass is still
+    optimal for its search space).  Raises [Invalid_argument] for
+    non-positive thresholds or [growth <= 1]. *)
 
 val optimize_product :
   ?arena:Arena.t ->

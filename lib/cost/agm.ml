@@ -1,0 +1,225 @@
+module Relset = Blitz_bitset.Relset
+module Catalog = Blitz_catalog.Catalog
+module Join_graph = Blitz_graph.Join_graph
+module Hypergraph = Blitz_graph.Hypergraph
+
+type cover = {
+  weights : (int list * float) list;
+  log_bound : float;
+  bound : float;
+  exact : bool;
+}
+
+let exact_edge_cap = 6
+
+(* The bound being minimized.  Every predicate (hyper)edge [e] with
+   members [M_e] and selectivity [sel_e] is viewed as a materialized
+   relationship relation of size [prod_{i in M_e} N_i * sel_e]; a
+   choice of edge weights [x_e >= 0] with implicit vertex self-covers
+   [w_i = max(0, 1 - cov_i)] (where [cov_i = sum_{e ni i} x_e]) is a
+   fractional edge cover of the subset, so
+
+     |Q_S|  <=  prod_i N_i^{w_i} * prod_e (prod_{i in M_e} N_i * sel_e)^{x_e}
+
+   holds for EVERY [x >= 0] (AGM / fractional-cover argument), which in
+   log space collapses to
+
+     G(x) = sum_i L_i * max(1, cov_i) + sum_e x_e * ln sel_e .
+
+   Any evaluation point is a valid bound; the solvers below only differ
+   in how close to the minimum they land.  For ordinary (binary-edge)
+   graphs the LP optimum is half-integral, so exhaustive enumeration
+   over {0, 1/2, 1}^m is exact up to [exact_edge_cap] edges; beyond it
+   a deterministic coordinate descent from the all-1/2 start converges
+   to a (valid, usually optimal) point. *)
+
+type problem = {
+  k : int;  (* relations in the subset *)
+  rels : int array;  (* position -> relation index *)
+  logs : float array;  (* position -> ln N_i *)
+  m : int;  (* induced edges *)
+  edge_members : int array array;  (* edge -> member positions *)
+  edge_rels : int list array;  (* edge -> member relation indexes *)
+  lsel : float array;  (* edge -> ln sel_e *)
+  sel : float array;  (* edge -> sel_e *)
+  cov : float array;  (* scratch, length k *)
+}
+
+let build catalog packed s =
+  let rels = Array.of_list (Relset.to_list s) in
+  let k = Array.length rels in
+  let pos_of = Hashtbl.create (2 * k) in
+  Array.iteri (fun p i -> Hashtbl.replace pos_of i p) rels;
+  let idxs = Array.of_list (Hypergraph.induced packed s) in
+  let m = Array.length idxs in
+  {
+    k;
+    rels;
+    logs = Array.map (fun i -> Float.log (Catalog.card catalog i)) rels;
+    m;
+    edge_members =
+      Array.map
+        (fun e ->
+          Array.of_list
+            (List.map (fun i -> Hashtbl.find pos_of i) (Relset.to_list packed.Hypergraph.members.(e))))
+        idxs;
+    edge_rels = Array.map (fun e -> Relset.to_list packed.Hypergraph.members.(e)) idxs;
+    lsel = Array.map (fun e -> Float.log packed.Hypergraph.sel.(e)) idxs;
+    sel = Array.map (fun e -> packed.Hypergraph.sel.(e)) idxs;
+    cov = Array.make k 0.0;
+  }
+
+let objective p x =
+  Array.fill p.cov 0 p.k 0.0;
+  let acc = ref 0.0 in
+  for e = 0 to p.m - 1 do
+    let xe = x.(e) in
+    if xe > 0.0 then begin
+      acc := !acc +. (xe *. p.lsel.(e));
+      Array.iter (fun pos -> p.cov.(pos) <- p.cov.(pos) +. xe) p.edge_members.(e)
+    end
+  done;
+  for pos = 0 to p.k - 1 do
+    acc := !acc +. (p.logs.(pos) *. Float.max 1.0 p.cov.(pos))
+  done;
+  !acc
+
+let degenerate p =
+  Array.exists (fun l -> not (Float.is_finite l)) p.logs
+  || Array.exists (fun l -> not (Float.is_finite l)) p.lsel
+
+(* Exhaustive half-integral search: x in {0, 1/2, 1}^m by a base-3
+   counter (edge 0 least significant), keeping the first strictly
+   smaller objective — deterministic tie-break toward the earliest
+   counter value. *)
+let solve_exact p =
+  let x = Array.make p.m 0.0 in
+  let best = Array.make p.m 0.0 in
+  let best_g = ref (objective p x) in
+  let total = ref 1 in
+  for _ = 1 to p.m do
+    total := !total * 3
+  done;
+  for c = 1 to !total - 1 do
+    let v = ref c in
+    for e = 0 to p.m - 1 do
+      x.(e) <- float_of_int (!v mod 3) /. 2.0;
+      v := !v / 3
+    done;
+    let g = objective p x in
+    if g < !best_g then begin
+      best_g := g;
+      Array.blit x 0 best 0 p.m
+    end
+  done;
+  (best, !best_g)
+
+(* Deterministic coordinate descent: all-1/2 start, ascending-index
+   sweeps trying {0, 1/2, 1} per edge (first strictly smaller wins),
+   until a fixpoint or the sweep cap. *)
+let solve_descent p =
+  let x = Array.make p.m 0.5 in
+  let g = ref (objective p x) in
+  let sweeps = ref 0 in
+  let changed = ref true in
+  while !changed && !sweeps < 32 do
+    changed := false;
+    incr sweeps;
+    for e = 0 to p.m - 1 do
+      let current = x.(e) in
+      List.iter
+        (fun d ->
+          if d <> x.(e) then begin
+            let saved = x.(e) in
+            x.(e) <- d;
+            let g' = objective p x in
+            if g' < !g then begin
+              g := g';
+              changed := true
+            end
+            else x.(e) <- saved
+          end)
+        (List.filter (fun d -> d <> current) [ 0.0; 0.5; 1.0 ])
+    done
+  done;
+  (x, !g)
+
+(* Integral greedy cover for degenerate statistics (non-finite or
+   non-positive logs, e.g. sanitizer-fabricated cards): pick whole
+   edges by descending fresh coverage (lowest index on ties), self-
+   cover the rest, and multiply the bound out directly — no logs. *)
+let solve_degenerate p =
+  let x = Array.make p.m 0.0 in
+  let covered = Array.make p.k false in
+  let remaining = ref p.k in
+  let continue_ = ref true in
+  while !remaining > 0 && !continue_ do
+    let best_e = ref (-1) in
+    let best_fresh = ref 0 in
+    for e = p.m - 1 downto 0 do
+      if x.(e) = 0.0 then begin
+        let fresh =
+          Array.fold_left (fun acc pos -> if covered.(pos) then acc else acc + 1) 0 p.edge_members.(e)
+        in
+        if fresh >= !best_fresh && fresh > 0 then begin
+          best_fresh := fresh;
+          best_e := e
+        end
+      end
+    done;
+    if !best_e < 0 then continue_ := false
+    else begin
+      x.(!best_e) <- 1.0;
+      Array.iter
+        (fun pos ->
+          if not covered.(pos) then begin
+            covered.(pos) <- true;
+            decr remaining
+          end)
+        p.edge_members.(!best_e)
+    end
+  done;
+  let bound = ref 1.0 in
+  for pos = 0 to p.k - 1 do
+    if not covered.(pos) then bound := !bound *. Float.exp p.logs.(pos)
+  done;
+  for e = 0 to p.m - 1 do
+    if x.(e) = 1.0 then begin
+      Array.iter (fun pos -> bound := !bound *. Float.exp p.logs.(pos)) p.edge_members.(e);
+      bound := !bound *. p.sel.(e)
+    end
+  done;
+  (x, !bound)
+
+let cover_of_weights p x ~log_bound ~bound ~exact =
+  let weights = ref [] in
+  for e = p.m - 1 downto 0 do
+    if x.(e) > 0.0 then weights := (p.edge_rels.(e), x.(e)) :: !weights
+  done;
+  { weights = !weights; log_bound; bound; exact }
+
+let fractional_edge_cover catalog packed s =
+  if Relset.is_empty s then invalid_arg "Agm.fractional_edge_cover: empty set";
+  let p = build catalog packed s in
+  if degenerate p then begin
+    let x, bound = solve_degenerate p in
+    cover_of_weights p x ~log_bound:(Float.log bound) ~bound ~exact:false
+  end
+  else begin
+    let x, g = if p.m <= exact_edge_cap then solve_exact p else solve_descent p in
+    cover_of_weights p x ~log_bound:g ~bound:(Float.exp g) ~exact:(p.m <= exact_edge_cap)
+  end
+
+let of_join_graph catalog graph s =
+  fractional_edge_cover catalog (Hypergraph.pack (Hypergraph.of_join_graph graph)) s
+
+(* Multiway-join operator cost: build a hash index per input (linear
+   scans), then enumerate results.  The enumeration term is the AGM
+   bound capped by the estimated output and the largest input — the
+   bound is worst-case while the binary costs it competes against are
+   independence estimates, so the honest comparison caps enumeration
+   work at what the estimates themselves claim flows out. *)
+let kappa_multiway ~inputs ~out ~agm =
+  let build = List.fold_left ( +. ) 0.0 inputs in
+  let max_in = List.fold_left Float.max 0.0 inputs in
+  build +. Float.min agm (Float.max out max_in)

@@ -95,9 +95,9 @@ let with_session ?model ?num_domains ?seed ?cache f =
   let t = create ?model ?num_domains ?seed ?cache () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
-let ctx ?interrupt ?threshold ?growth ?max_passes ?counters t =
+let ctx ?interrupt ?threshold ?growth ?max_passes ?counters ?multiway t =
   Registry.ctx ~arena:t.arena ?pool:(pool t) ~num_domains:t.num_domains ~seed:t.seed ?interrupt
-    ?threshold ?growth ?max_passes ?counters t.model
+    ?threshold ?growth ?max_passes ?counters ?multiway t.model
 
 let counters t = Arena.counters t.arena
 
@@ -165,10 +165,16 @@ let append_note extra (o : Registry.outcome) =
    form on the miss path, so the store needs no recompute.  [cold_ctx],
    when given, is a prebuilt ctx to run cold (unthresholded) passes
    with, letting batches share one ctx across queries. *)
-let run_entry t (entry : Registry.entry) ~optimizer ?interrupt ?threshold ?cold_ctx ~ctr problem
-    =
+let run_entry t (entry : Registry.entry) ~optimizer ?interrupt ?threshold ?(multiway = false)
+    ?cold_ctx ~ctr problem =
+  (* Multiway planning is real only for entries that advertise it; the
+     flag reaches the cache key only then, so e.g. greedy lookups do not
+     fragment across the two modes they cannot distinguish. *)
+  let mw = multiway && entry.Registry.caps.Registry.multiway in
   let cold () =
-    match cold_ctx with Some c -> c | None -> ctx ?interrupt ?threshold ~counters:ctr t
+    match cold_ctx with
+    | Some c -> c
+    | None -> ctx ?interrupt ?threshold ~multiway:mw ~counters:ctr t
   in
   let cacheable =
     t.cache <> None && entry.Registry.caps.Registry.cacheable && Option.is_none threshold
@@ -176,15 +182,20 @@ let run_entry t (entry : Registry.entry) ~optimizer ?interrupt ?threshold ?cold_
   if not cacheable then entry.Registry.optimize (cold ()) problem
   else
     let c = Option.get t.cache in
+    (* "+mw" keeps the two plan spaces apart in the cache: a multiway
+       optimum must never be replayed to a caller that cannot execute
+       n-ary joins, and a binary optimum stored by a multiway=false run
+       is not the hybrid space's optimum. *)
+    let cache_key = if mw then optimizer ^ "+mw" else optimizer in
     let hit =
       Obs.Metrics.time m_cache_lookup (fun () ->
           Fingerprint.compute t.scratch ~model_digest:t.digest problem.Registry.catalog
             problem.Registry.graph;
-          Plan_cache.find c t.scratch ~optimizer)
+          Plan_cache.find c t.scratch ~optimizer:cache_key)
     in
     match hit with
-    | Some h -> hit_outcome ctr h
-    | None ->
+    | Some h when mw || not (Plan.has_multiway h.Plan_cache.plan) -> hit_outcome ctr h
+    | Some _ (* defense in depth: never serve an n-ary plan without mw *) | None ->
         (* Warm-start ladder for the thresholded driver.  Best seed: a
            banded-ensemble plan for this shape and selectivity regime,
            re-costed under the {e current} catalog — a genuine upper
@@ -227,16 +238,18 @@ let run_entry t (entry : Registry.entry) ~optimizer ?interrupt ?threshold ?cold_
           match warm with
           | None -> entry.Registry.optimize (cold ()) problem
           | Some (w, _) ->
-              entry.Registry.optimize (ctx ?interrupt ~threshold:w ~counters:ctr t) problem
+              entry.Registry.optimize
+                (ctx ?interrupt ~threshold:w ~multiway:mw ~counters:ctr t)
+                problem
         in
         (match o.Registry.plan with
         | Some plan when Float.is_finite o.Registry.cost ->
-            Plan_cache.store c t.scratch ~optimizer ~plan ~cost:o.Registry.cost
+            Plan_cache.store c t.scratch ~optimizer:cache_key ~plan ~cost:o.Registry.cost
               ~passes:o.Registry.passes ~final_threshold:o.Registry.final_threshold
         | _ -> ());
         (match warm with Some (_, note) -> append_note note o | None -> o)
 
-let optimize ?(optimizer = "exact") ?interrupt ?threshold t problem =
+let optimize ?(optimizer = "exact") ?interrupt ?threshold ?multiway t problem =
   if t.closed then invalid_arg "Engine.optimize: session is closed";
   let entry = Registry.find_exn optimizer in
   let ctr = Arena.counters t.arena in
@@ -244,19 +257,19 @@ let optimize ?(optimizer = "exact") ?interrupt ?threshold t problem =
   let o =
     Obs.span "engine.optimize" ~attrs:[ ("optimizer", optimizer) ] (fun () ->
         Obs.Metrics.time m_latency (fun () ->
-            run_entry t entry ~optimizer ?interrupt ?threshold ~ctr problem))
+            run_entry t entry ~optimizer ?interrupt ?threshold ?multiway ~ctr problem))
   in
   record_outcome t o;
   o
 
-let optimize_many ?(optimizer = "exact") ?interrupt t problems =
+let optimize_many ?(optimizer = "exact") ?interrupt ?multiway t problems =
   if t.closed then invalid_arg "Engine.optimize_many: session is closed";
   (* One registry lookup for the whole batch — per-query work is a
      counter reset, a fingerprint into the session scratch (cache
      sessions), and the optimizer itself. *)
   let entry = Registry.find_exn optimizer in
   let ctr = Arena.counters t.arena in
-  let cold_ctx = ctx ?interrupt ~counters:ctr t in
+  let cold_ctx = ctx ?interrupt ?multiway ~counters:ctr t in
   let completed = ref [] in
   Obs.span "engine.optimize_many" ~attrs:[ ("optimizer", optimizer) ] (fun () ->
       try
@@ -265,7 +278,7 @@ let optimize_many ?(optimizer = "exact") ?interrupt t problems =
             Counters.reset ctr;
             let o =
               Obs.Metrics.time m_latency (fun () ->
-                  run_entry t entry ~optimizer ?interrupt ~cold_ctx ~ctr p)
+                  run_entry t entry ~optimizer ?interrupt ?multiway ~cold_ctx ~ctr p)
             in
             record_outcome t o;
             (* The table is a view of the arena's buffer, overwritten by the

@@ -64,12 +64,18 @@ val optimize :
   ?optimizer:string ->
   ?interrupt:(unit -> bool) ->
   ?threshold:float ->
+  ?multiway:bool ->
   t ->
   Registry.problem ->
   Registry.outcome
 (** Run one query through the session.  [optimizer] names a registry
     entry (default ["exact"]); [threshold] seeds the thresholded
-    driver.  The session's counters are reset first, so the outcome's
+    driver.  [multiway] requests hybrid binary+n-ary planning from
+    entries whose caps advertise it; in the plan cache such runs live
+    under the decorated key [<optimizer>"+mw"], so the two plan spaces
+    never serve each other's optima (and a hit carrying a
+    [Plan.Multiway] node is additionally refused for multiway=false
+    callers).  The session's counters are reset first, so the outcome's
     counters are per-query; the outcome's [table] aliases the arena
     buffer and is only valid until the next call.  May raise
     [Blitzsplit.Interrupted] (via [interrupt]) and whatever the entry
@@ -78,6 +84,7 @@ val optimize :
 val optimize_many :
   ?optimizer:string ->
   ?interrupt:(unit -> bool) ->
+  ?multiway:bool ->
   t ->
   Registry.problem Seq.t ->
   Registry.outcome list
@@ -126,6 +133,7 @@ val ctx :
   ?growth:float ->
   ?max_passes:int ->
   ?counters:Counters.t ->
+  ?multiway:bool ->
   t ->
   Registry.ctx
 (** The registry ctx {!optimize} uses, exposed so budget-holding

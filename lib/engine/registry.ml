@@ -31,12 +31,25 @@ type ctx = {
   max_passes : int option;
   seed : int;
   counters : Counters.t option;
+  multiway : bool;
 }
 
 let ctx ?arena ?pool ?(num_domains = 1) ?interrupt ?threshold ?growth ?max_passes ?(seed = 1)
-    ?counters model =
+    ?counters ?(multiway = false) model =
   if num_domains < 1 then invalid_arg "Registry.ctx: num_domains must be positive";
-  { model; arena; pool; num_domains; interrupt; threshold; growth; max_passes; seed; counters }
+  {
+    model;
+    arena;
+    pool;
+    num_domains;
+    interrupt;
+    threshold;
+    growth;
+    max_passes;
+    seed;
+    counters;
+    multiway;
+  }
 
 type outcome = {
   plan : Plan.t option;
@@ -58,6 +71,7 @@ type caps = {
   stats_free : bool;
   connected_only : bool;
   cacheable : bool;
+  multiway : bool;
 }
 
 type entry = {
@@ -101,6 +115,7 @@ let dp_caps =
     stats_free = false;
     connected_only = false;
     cacheable = true;
+    multiway = false;
   }
 
 let tablefree_caps =
@@ -114,6 +129,7 @@ let tablefree_caps =
     stats_free = false;
     connected_only = false;
     cacheable = false;
+    multiway = false;
   }
 
 (* ---- the exact tier: blitzsplit, sequential or rank-parallel ---- *)
@@ -125,8 +141,15 @@ let tablefree_caps =
 let run_exact ctx p =
   let ctr = counters_of ctx in
   let r =
-    Parallel_blitzsplit.run ?pool:ctx.pool ~num_domains:ctx.num_domains ~graph_opt:p.graph
-      ?arena:ctx.arena ~counters:ctr ?interrupt:ctx.interrupt ctx.model p.catalog
+    match p.graph with
+    | Some g when ctx.multiway ->
+      (* The rank-parallel driver has no multiway path: an n-ary planning
+         request always runs the sequential optimizer, pool or not. *)
+      Blitzsplit.optimize_join ?arena:ctx.arena ~counters:ctr ?interrupt:ctx.interrupt
+        ~multiway:true ctx.model p.catalog g
+    | _ ->
+      Parallel_blitzsplit.run ?pool:ctx.pool ~num_domains:ctx.num_domains ~graph_opt:p.graph
+        ?arena:ctx.arena ~counters:ctr ?interrupt:ctx.interrupt ctx.model p.catalog
   in
   of_blitzsplit ctr r
 
@@ -146,7 +169,8 @@ let run_thresholded ctx p =
     match ctx.threshold with Some t -> t | None -> seed_threshold ctx p
   in
   let outcome =
-    if ctx.pool <> None || ctx.num_domains > 1 then
+    (* Same fallback as [run_exact]: multiway planning is sequential. *)
+    if (ctx.pool <> None || ctx.num_domains > 1) && not (ctx.multiway && p.graph <> None) then
       match p.graph with
       | Some g ->
         Parallel_blitzsplit.threshold_optimize_join ?pool:ctx.pool ?arena:ctx.arena
@@ -160,7 +184,8 @@ let run_thresholded ctx p =
       match p.graph with
       | Some g ->
         Threshold.optimize_join ?arena:ctx.arena ~counters:ctr ?growth:ctx.growth
-          ?max_passes:ctx.max_passes ?interrupt:ctx.interrupt ~threshold ctx.model p.catalog g
+          ?max_passes:ctx.max_passes ?interrupt:ctx.interrupt ~multiway:ctx.multiway ~threshold
+          ctx.model p.catalog g
       | None ->
         Threshold.optimize_product ?arena:ctx.arena ~counters:ctr ?growth:ctx.growth
           ?max_passes:ctx.max_passes ?interrupt:ctx.interrupt ~threshold ctx.model p.catalog
@@ -263,8 +288,8 @@ let run_simpli ctx p =
 let run_dpccp ctx p =
   let ctr = counters_of ctx in
   let r =
-    Dpccp.optimize ?arena:ctx.arena ~counters:ctr ?interrupt:ctx.interrupt ctx.model p.catalog
-      (graph_of p)
+    Dpccp.optimize ?arena:ctx.arena ~counters:ctr ?interrupt:ctx.interrupt
+      ~multiway:ctx.multiway ctx.model p.catalog (graph_of p)
   in
   {
     plan = r.Dpccp.plan;
@@ -341,13 +366,13 @@ let () =
       {
         name = "exact";
         summary = "blitzsplit: exhaustive bushy DP with Cartesian products";
-        caps = dp_caps;
+        caps = { dp_caps with multiway = true };
         optimize = run_exact;
       };
       {
         name = "thresholded";
         summary = "blitzsplit under a plan-cost threshold with re-optimization passes";
-        caps = dp_caps;
+        caps = { dp_caps with multiway = true };
         optimize = run_thresholded;
       };
       {
@@ -441,6 +466,7 @@ let () =
             exact = false;
             cacheable = false;
             connected_only = true;
+            multiway = true;
           };
         optimize = run_dpccp;
       };

@@ -48,6 +48,12 @@ type ctx = {
   max_passes : int option;
   seed : int;  (** Drives every stochastic optimizer. *)
   counters : Counters.t option;  (** Accumulates split-loop counts. *)
+  multiway : bool;
+      (** Request hybrid binary+n-ary planning: optimizers whose caps
+          advertise [multiway] additionally consider AGM-costed
+          [Plan.Multiway] candidates on cyclic cores; the rest ignore
+          the flag.  Multiway planning is sequential — entries fall back
+          from the pool to the sequential path when both are asked. *)
 }
 (** Everything an optimizer may draw on, problem-independent: one [ctx]
     can serve many problems (that is what {!Engine} does). *)
@@ -62,6 +68,7 @@ val ctx :
   ?max_passes:int ->
   ?seed:int ->
   ?counters:Counters.t ->
+  ?multiway:bool ->
   Cost_model.t ->
   ctx
 (** Smart constructor; [num_domains] defaults to 1, [seed] to 1.
@@ -108,6 +115,11 @@ type caps = {
           methods whose plan is optimal over the {e full} plan space
           qualify — product-free or left-deep optima silently degrade
           later exact lookups. *)
+  multiway : bool;
+      (** Honors [ctx.multiway]: the method can emit [Plan.Multiway]
+          nodes ([exact], [thresholded], [dpccp]).  Callers that cannot
+          execute n-ary joins must not set [ctx.multiway] when
+          dispatching to such an entry. *)
 }
 
 type entry = {

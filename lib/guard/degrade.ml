@@ -143,7 +143,7 @@ let eligibility ?arena ?(cache_bytes = 0) ~budget tier catalog graph =
           Some (Not_applicable "join graph is disconnected")
         else None)
 
-let run_tier ?(num_domains = 1) ?arena ?pool ~budget ~seed tier model catalog graph =
+let run_tier ?(num_domains = 1) ?arena ?pool ?multiway ~budget ~seed tier model catalog graph =
   let interrupt = Budget.interrupt budget in
   (* A plan with an overflowed (infinite) cost estimate is still a valid
      join order and better than nothing; only NaN — or no plan at all —
@@ -157,7 +157,11 @@ let run_tier ?(num_domains = 1) ?arena ?pool ~budget ~seed tier model catalog gr
      exact tier keeps its meaning (Budget.interrupt is domain-safe).
      The thresholded entry seeds its first pass from the greedy bound
      when the ctx carries no threshold — the cascade's policy. *)
-  let ctx = Registry.ctx ?arena ?pool ~num_domains ~interrupt ~seed model in
+  (* Tiers whose caps lack the multiway capability simply ignore the
+     flag, so one ctx serves the whole cascade and it stays valid end to
+     end: an n-ary-capable tier may emit [Plan.Multiway], every tier
+     below it still produces plain binary plans. *)
+  let ctx = Registry.ctx ?arena ?pool ~num_domains ~interrupt ~seed ?multiway model in
   match (tier_entry tier).Registry.optimize ctx (Registry.problem ~graph catalog) with
   | o -> finish (o.Registry.plan, o.Registry.cost)
   | exception Blitzsplit.Interrupted -> Error Deadline
@@ -185,7 +189,7 @@ let record_win tier =
          "blitz_degrade_wins_total")
 
 let optimize ?(cascade = default_cascade) ?(seed = 1) ?num_domains ?arena ?pool ?cache_bytes
-    ~budget model catalog graph =
+    ?multiway ~budget model catalog graph =
   let t_start = Budget.elapsed_ms budget in
   let rec go attempts = function
     | [] -> Error (List.rev attempts)
@@ -198,7 +202,8 @@ let optimize ?(cascade = default_cascade) ?(seed = 1) ?num_domains ?arena ?pool 
         let t0 = Budget.elapsed_ms budget in
         match
           Obs.span ("degrade." ^ tier_name tier) (fun () ->
-              run_tier ?num_domains ?arena ?pool ~budget ~seed tier model catalog graph)
+              run_tier ?num_domains ?arena ?pool ?multiway ~budget ~seed tier model catalog
+                graph)
         with
         | Ok (plan, cost) ->
           record_attempt tier "produced" (Printf.sprintf "cost %g" cost);

@@ -110,6 +110,7 @@ val run_tier :
   ?num_domains:int ->
   ?arena:Arena.t ->
   ?pool:Pool.t ->
+  ?multiway:bool ->
   budget:Budget.t ->
   seed:int ->
   tier ->
@@ -135,6 +136,7 @@ val optimize :
   ?arena:Arena.t ->
   ?pool:Pool.t ->
   ?cache_bytes:int ->
+  ?multiway:bool ->
   budget:Budget.t ->
   Cost_model.t ->
   Catalog.t ->
@@ -143,4 +145,7 @@ val optimize :
 (** Walk the cascade under the (already armed) budget.  [Error attempts]
     — possible only with a custom [cascade] that omits {!Greedy} — still
     reports why every tier declined.  [num_domains] is forwarded to the
-    DP tiers (see {!run_tier}); [cache_bytes] to {!eligibility}. *)
+    DP tiers (see {!run_tier}); [cache_bytes] to {!eligibility};
+    [multiway] to every tier's ctx — capable tiers (exact, thresholded,
+    dpccp) plan n-ary nodes, the rest ignore it, so the cascade stays
+    valid top to bottom. *)

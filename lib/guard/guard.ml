@@ -83,7 +83,7 @@ let cache_record ~session ~repairs model catalog graph (plan : Plan.t)
    catch-all converts any escaped exception — there should be none, but
    a resilient driver does not get to assume that — into a typed error
    rather than unwinding through the caller. *)
-let drive ~budget ~cascade ~seed ~num_domains ~session model catalog graph repairs =
+let drive ~budget ~cascade ~seed ~num_domains ~multiway ~session model catalog graph repairs =
   Budget.start budget;
   (* Fabricated cardinalities (Sanitize defaulted them) mean every
      cost-based tier would optimize placeholder numbers; unless the
@@ -135,8 +135,8 @@ let drive ~budget ~cascade ~seed ~num_domains ~session model catalog graph repai
       | None, None -> None
     in
     match
-      Degrade.optimize ?cascade ?seed ?num_domains ?arena ?pool ?cache_bytes ~budget model
-        catalog graph
+      Degrade.optimize ?cascade ?seed ?num_domains ?multiway ?arena ?pool ?cache_bytes ~budget
+        model catalog graph
     with
     | Ok (plan, provenance) ->
       cache_record ~session ~repairs model catalog graph plan provenance;
@@ -153,20 +153,20 @@ let drive ~budget ~cascade ~seed ~num_domains ~session model catalog graph repai
     | Error attempts -> Error (No_tier_produced attempts)
     | exception exn -> Error (Internal (Printexc.to_string exn)))
 
-let optimize ?budget ?session ?cascade ?seed ?num_domains model catalog graph =
+let optimize ?budget ?session ?cascade ?seed ?num_domains ?multiway model catalog graph =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   match Sanitize.check_pair catalog graph with
   | Error issues -> Error (Invalid_input issues)
   | Ok clean ->
-    drive ~budget ~cascade ~seed ~num_domains ~session model clean.Sanitize.catalog
+    drive ~budget ~cascade ~seed ~num_domains ~multiway ~session model clean.Sanitize.catalog
       clean.Sanitize.graph clean.Sanitize.repairs
 
-let optimize_input ?budget ?session ?policy ?cascade ?seed ?num_domains model ~relations ~edges
-    () =
+let optimize_input ?budget ?session ?policy ?cascade ?seed ?num_domains ?multiway model
+    ~relations ~edges () =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   match Sanitize.check ?policy ~relations ~edges () with
   | Error issues -> Error (Invalid_input issues)
   | exception exn -> Error (Internal (Printexc.to_string exn))
   | Ok clean ->
-    drive ~budget ~cascade ~seed ~num_domains ~session model clean.Sanitize.catalog
+    drive ~budget ~cascade ~seed ~num_domains ~multiway ~session model clean.Sanitize.catalog
       clean.Sanitize.graph clean.Sanitize.repairs

@@ -54,6 +54,7 @@ val optimize :
   ?cascade:Degrade.tier list ->
   ?seed:int ->
   ?num_domains:int ->
+  ?multiway:bool ->
   Cost_model.t ->
   Catalog.t ->
   Join_graph.t ->
@@ -67,7 +68,10 @@ val optimize :
     [session] plugs a [Blitz_engine.Engine] session in: the DP tiers
     draw their table from its arena and its spawned pool, and its
     domain count is the default when [num_domains] is omitted — the
-    way to run many guarded queries without per-query allocation. *)
+    way to run many guarded queries without per-query allocation.
+    [multiway] asks capable tiers for n-ary AGM-costed plans (see
+    {!Degrade.optimize}); incapable tiers ignore it, so the cascade
+    stays valid end to end. *)
 
 val optimize_input :
   ?budget:Budget.t ->
@@ -76,6 +80,7 @@ val optimize_input :
   ?cascade:Degrade.tier list ->
   ?seed:int ->
   ?num_domains:int ->
+  ?multiway:bool ->
   Cost_model.t ->
   relations:(string * float) list ->
   edges:(int * int * float) list ->

@@ -64,3 +64,28 @@ let crosses t u v =
       && (not (Relset.subset e.members u))
       && not (Relset.subset e.members v))
     t.edges
+
+(* Flat arrays for the inner loops that index hyperedges by small
+   integer position: the optimizer kernels (blitzsplit_hyper's
+   completed-edge bitmask, the AGM fractional-cover solver) both need
+   exactly [members]/[sel] as parallel arrays, so the packing lives
+   here instead of being re-derived privately at each call site.
+   Defined last so its [members] field does not shadow
+   [hyperedge.members] above. *)
+type packed = { members : Relset.t array; sel : float array }
+
+let pack t =
+  let edges = Array.of_list t.edges in
+  {
+    members = Array.map (fun (e : hyperedge) -> e.members) edges;
+    sel = Array.map (fun (e : hyperedge) -> e.selectivity) edges;
+  }
+
+let packed_edge_count p = Array.length p.members
+
+let induced p s =
+  let acc = ref [] in
+  for e = Array.length p.members - 1 downto 0 do
+    if Relset.subset p.members.(e) s then acc := e :: !acc
+  done;
+  !acc

@@ -40,6 +40,29 @@ val join_cardinality : Catalog.t -> t -> Relset.t -> float
 (** Reference semantics: member cardinalities times the selectivities of
     fully-contained hyperedges. *)
 
+(** {1 Packed form and induced sub-hypergraphs}
+
+    Inner loops that index hyperedges by integer position — the
+    completed-edge bitmask of [Blitzsplit_hyper], the AGM
+    fractional-cover solver — consume the packed parallel-array form
+    instead of re-deriving it privately. *)
+
+type packed = {
+  members : Relset.t array;  (** Member set of edge [e]. *)
+  sel : float array;  (** Selectivity of edge [e], same indexing. *)
+}
+
+val pack : t -> packed
+(** Edges in construction order; [pack] is the canonical conversion, so
+    two callers packing the same hypergraph agree on edge indexes. *)
+
+val packed_edge_count : packed -> int
+
+val induced : packed -> Relset.t -> int list
+(** Indexes (ascending) of the edges wholly contained in the given set —
+    the induced sub-hypergraph on which a per-subset fractional edge
+    cover is solved. *)
+
 val pi_span : t -> Relset.t -> Relset.t -> float
 (** Product of selectivities of hyperedges contained in the union of the
     two (disjoint) sets but in neither alone — the factor a join of the

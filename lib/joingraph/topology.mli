@@ -46,6 +46,19 @@ val edge_list : t -> n:int -> (int * int) list
     is infeasible at that size (e.g. [Cycle_plus k] needs
     [n >= 2k + 3]; [Grid (r, c)] needs [r*c = n]). *)
 
+val grid : n:int -> t
+(** [grid ~n] is [Grid (r, c)] with [r * c = n] and [r] the largest
+    divisor of [n] at most [sqrt n] — the most-square mesh covering
+    exactly [n] relations, deterministically.  Primes degenerate to
+    [Grid (1, n)] (a chain). *)
+
+val cycle_plus_chords : n:int -> k:int -> seed:int -> (int * int) list
+(** A seeded cyclic wiring: the [n]-cycle (in the appendix chain order,
+    closed) plus [k] distinct random chords drawn from a PRNG seeded
+    with [(seed, n, k)] — deterministic for a given triple.  Feed the
+    result to {!assign_selectivities}.  Raises [Invalid_argument] when
+    [n < 3], [k < 0], or [k] exceeds the number of non-cycle pairs. *)
+
 val assign_selectivities :
   Blitz_catalog.Catalog.t -> (int * int) list -> result_card:float -> Join_graph.t
 (** Weight an edge list with the appendix formula, targeting the given

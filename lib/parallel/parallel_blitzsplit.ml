@@ -201,7 +201,9 @@ let run ?pool ~num_domains ?(min_parallel_n = default_crossover_n) ~graph_opt ?a
         Pool.with_pool ~num_domains (fun pool ->
             parallel_run pool ~graph_opt ~arena ~ctr ~threshold ~interrupt model catalog graph)
     in
-    { Blitzsplit.table; counters = ctr; catalog; graph; model; threshold }
+    (* The rank-parallel driver never plans multiway nodes (the engine
+       falls back to the sequential optimizer when both are requested). *)
+    { Blitzsplit.table; counters = ctr; catalog; graph; model; threshold; multiway = None }
 
 let optimize_join ?pool ?num_domains ?min_parallel_n ?arena ?counters ?threshold ?interrupt
     model catalog graph =

@@ -63,6 +63,7 @@ val run :
   ?seeds:int list ->
   ?mean_card:float ->
   ?variability:float ->
+  ?multiway:bool ->
   n:int ->
   Cost_model.t ->
   report
@@ -70,10 +71,13 @@ val run :
     optimizers but [bruteforce], the paper's four topologies, levels
     [0, 0.5, 1, 2] (decades of error), seeds 1-5, [mean_card] 1000,
     [variability] 1/3.  Optimizers whose caps rule the problem out
-    ([max_n], [tree_only]) are skipped, not failed.  Deterministic:
-    equal arguments produce equal reports.  Raises [Invalid_argument]
-    on empty [levels]/[seeds]/[topologies] or a [Workload.spec]
-    rejection. *)
+    ([max_n], [tree_only]) are skipped, not failed.  [multiway] lets
+    capable optimizers plan n-ary nodes against the perturbed numbers;
+    regret is still judged by re-costing under the true catalog, where
+    [Plan.cost] re-solves each multiway node's AGM bound from the true
+    statistics.  Deterministic: equal arguments produce equal reports.
+    Raises [Invalid_argument] on empty [levels]/[seeds]/[topologies] or
+    a [Workload.spec] rejection. *)
 
 val report_to_json : report -> Json.t
 val pp : Format.formatter -> report -> unit

@@ -11,6 +11,7 @@ let () =
       ("equivalence", Test_equivalence.suite);
       ("orders", Test_orders.suite);
       ("hypergraph", Test_hypergraph.suite);
+      ("multiway", Test_multiway.suite);
       ("differential", Test_differential.suite);
       ("core-misc", Test_core_misc.suite);
       ("threshold", Test_threshold.suite);
