@@ -992,9 +992,194 @@ let counters_cmd =
     (Cmd.info "counters" ~doc:"Show split-loop instrumentation for one optimization")
     Term.(const run $ problem_term $ model_arg)
 
+(* ---- optimizers: the registry capability table ---- *)
+
+let optimizers_cmd =
+  let run () =
+    let entries = Registry.all () in
+    let yn b = if b then "yes" else "-" in
+    Printf.printf "%-22s %-5s %-5s %-5s %-5s %-4s %-4s %-7s %-5s %-3s\n" "name" "max_n" "exact"
+      "cache" "tree" "conn" "par" "dexempt" "sfree" "mw";
+    List.iter
+      (fun (e : Registry.entry) ->
+        let c = e.Registry.caps in
+        Printf.printf "%-22s %-5s %-5s %-5s %-5s %-4s %-4s %-7s %-5s %-3s\n" e.Registry.name
+          (match c.Registry.max_n with Some n -> string_of_int n | None -> "-")
+          (yn c.Registry.exact) (yn c.Registry.cacheable) (yn c.Registry.tree_only)
+          (yn c.Registry.connected_only) (yn c.Registry.parallelizable)
+          (yn c.Registry.deadline_exempt) (yn c.Registry.stats_free) (yn c.Registry.multiway))
+      entries;
+    Printf.printf "\n%d optimizers registered\n" (List.length entries)
+  in
+  Cmd.v
+    (Cmd.info "optimizers"
+       ~doc:
+         "Dump the optimizer registry's capability table (the source of truth the \
+          documentation tables are checked against)")
+    Term.(const run $ const ())
+
+(* ---- serve / query: the NDJSON optimizer server and a line client ---- *)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind (serve) or connect to (query).")
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 7411
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 picks an ephemeral one).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"K" ~doc:"Optimizer worker domains, each owning one engine session.")
+  in
+  let tenants_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "tenants" ] ~docv:"SPEC"
+          ~doc:
+            "Tenant table, e.g. 'acme:deadline-ms=50,table-mb=8,rps=100,burst=20;beta:rps=5'. \
+             Settings: deadline-ms, table-mb, rps, burst (all optional).  A 'default' tenant \
+             is always available; name it in SPEC to limit it.")
+  in
+  let serve_cache_mb_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "cache-mb" ] ~docv:"MB" ~doc:"Shared plan-cache budget in mebibytes (default 4).")
+  in
+  let serve_no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Run without a plan cache.")
+  in
+  let shed_queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "shed-queue" ] ~docv:"DEPTH"
+          ~doc:"Queue depth at which requests start shedding through the degrade cascade.")
+  in
+  let shed_deadline_arg =
+    Arg.(
+      value & opt float 5.
+      & info [ "shed-deadline-ms" ] ~docv:"MS" ~doc:"Deadline clamp applied to shed requests.")
+  in
+  let max_requests_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-requests" ] ~docv:"K"
+          ~doc:"Exit after K optimize/explain responses (deterministic teardown for tests).")
+  in
+  let port_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound port to FILE once listening (for --port 0 callers).")
+  in
+  let serve_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the stochastic optimizer tiers.")
+  in
+  let run host port workers tenants_spec model cache_mb no_cache shed_queue shed_deadline_ms
+      max_requests port_file seed =
+    match Blitz_serve.Tenant.parse_spec tenants_spec with
+    | Error msg -> `Error (false, msg)
+    | Ok tenants -> (
+      match
+        Blitz_serve.Server.config ~host ~port ~workers ~tenants ~model
+          ~cache:(Plan_cache.create ~max_bytes:(cache_mb * 1024 * 1024) ())
+          ~shed_queue ~shed_deadline_ms ?max_requests ~seed ()
+      with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | cfg -> (
+        let cfg = if no_cache then { cfg with Blitz_serve.Server.cache = None } else cfg in
+        match Blitz_serve.Server.start cfg with
+        | exception Unix.Unix_error (err, _, _) ->
+          `Error (false, Printf.sprintf "cannot listen on %s:%d: %s" host port (Unix.error_message err))
+        | server ->
+          let bound = Blitz_serve.Server.port server in
+          (match port_file with
+          | None -> ()
+          | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (string_of_int bound ^ "\n")));
+          Printf.printf "serving on %s:%d (%d worker(s), %d tenant(s))\n%!" host bound workers
+            (List.length tenants + if List.exists (fun t -> t.Blitz_serve.Tenant.name = "default") tenants then 0 else 1);
+          Blitz_serve.Server.wait server;
+          `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the optimizer over newline-delimited JSON (methods: optimize, explain, stats, \
+          health; GET /metrics on the same port answers Prometheus scrapes)")
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ workers_arg $ tenants_arg $ model_arg
+       $ serve_cache_mb_arg $ serve_no_cache_arg $ shed_queue_arg $ shed_deadline_arg
+       $ max_requests_arg $ port_file_arg $ serve_seed_arg))
+
+let query_cmd =
+  let port_arg =
+    Arg.(
+      required & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port to connect to.")
+  in
+  let run host port =
+    match
+      Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      `Error (false, Printf.sprintf "cannot connect to %s:%d: %s" host port (Unix.error_message err))
+    | ic, oc ->
+      (* Closed loop: one request line out, one response line in — the
+         shape the cram tests and quickstart examples rely on. *)
+      let rec go () =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line ->
+          if String.trim line = "" then go ()
+          else begin
+            Out_channel.output_string oc (line ^ "\n");
+            Out_channel.flush oc;
+            (match In_channel.input_line ic with
+            | Some resp -> print_endline resp
+            | None | (exception Sys_error _) -> failwith "server closed the connection");
+            go ()
+          end
+      in
+      let result =
+        match go () with
+        | () -> `Ok ()
+        | exception Failure msg -> `Error (false, msg)
+        | exception Sys_error msg -> `Error (false, msg)
+      in
+      (try Unix.shutdown (Unix.descr_of_out_channel oc) Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      close_in_noerr ic;
+      result
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send newline-delimited JSON requests from standard input to a blitz server and print \
+          each response")
+    Term.(ret (const run $ host_arg $ port_arg))
+
 let main_cmd =
   let doc = "bushy join-order optimization with Cartesian products (Vance & Maier, SIGMOD 1996)" in
   Cmd.group (Cmd.info "blitz" ~version:"1.0.0" ~doc)
-    [ optimize_cmd; explain_cmd; compare_cmd; workload_cmd; regret_cmd; counters_cmd ]
+    [
+      optimize_cmd;
+      explain_cmd;
+      compare_cmd;
+      workload_cmd;
+      regret_cmd;
+      counters_cmd;
+      optimizers_cmd;
+      serve_cmd;
+      query_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

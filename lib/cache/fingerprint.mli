@@ -42,6 +42,8 @@ type scratch
     session's high-water-mark [n] and reused across queries. *)
 
 val create_scratch : unit -> scratch
+(** A fresh empty workspace; one per session is the intended
+    cardinality. *)
 
 val model_digest : Cost_model.t -> int
 (** A digest of the cost model's {e behavior}, not just its name: the
@@ -88,7 +90,11 @@ type frozen
 (** A heap copy of a scratch's canonical form, safe to store. *)
 
 val freeze : scratch -> frozen
+(** Copy the scratch's canonical form to the heap (the scratch remains
+    reusable). *)
+
 val frozen_hash : frozen -> int
+(** The {!hash} captured at freeze time. *)
 
 val frozen_bytes : frozen -> int
 (** Heap footprint estimate of the frozen form, for cache accounting. *)

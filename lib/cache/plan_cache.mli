@@ -47,8 +47,16 @@ val create : ?shards:int -> ?max_bytes:int -> ?warm_slack:float -> unit -> t
     or [warm_slack < 1]. *)
 
 val shards : t -> int
+(** The shard count actually in use (the power of two {!create} rounded
+    up to). *)
+
 val max_bytes : t -> int
+(** The configured whole-cache byte budget (compare {!resident_bytes}
+    for current occupancy). *)
+
 val warm_slack : t -> float
+(** The configured shape-tier threshold multiplier (see
+    {!shape_threshold}). *)
 
 type hit = {
   plan : Plan.t;  (** Rebased to the caller's relation numbering. *)
@@ -104,6 +112,8 @@ val resident_bytes : t -> int
     [Budget] memory ceiling should charge. *)
 
 val entry_count : t -> int
+(** Resident exact-entry count across all shards (shape records not
+    included). *)
 
 type stats = {
   hits : int;

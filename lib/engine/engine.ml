@@ -124,7 +124,15 @@ let record_outcome t (o : Registry.outcome) =
 
 let digest_for t m = if m == t.model then t.digest else Fingerprint.model_digest m
 
-let cache_find ?model t ~optimizer (p : Registry.problem) =
+(* A tenant tag partitions the cache exactly the way "+mw" partitions
+   the plan spaces: the tag is folded into the entry key, so two tenants
+   sharing one cache (and one engine session pool) can never be served
+   each other's plans.  "@" cannot appear in a registry name, so tagged
+   and untagged keys cannot collide. *)
+let tagged ?cache_tag optimizer =
+  match cache_tag with None -> optimizer | Some tag -> optimizer ^ "@" ^ tag
+
+let cache_find ?model ?cache_tag t ~optimizer (p : Registry.problem) =
   match t.cache with
   | None -> None
   | Some c ->
@@ -132,16 +140,17 @@ let cache_find ?model t ~optimizer (p : Registry.problem) =
       Obs.Metrics.time m_cache_lookup (fun () ->
           Fingerprint.compute t.scratch ~model_digest:(digest_for t m) p.Registry.catalog
             p.Registry.graph;
-          Plan_cache.find c t.scratch ~optimizer)
+          Plan_cache.find c t.scratch ~optimizer:(tagged ?cache_tag optimizer))
 
-let cache_store ?model t ~optimizer (p : Registry.problem) (o : Registry.outcome) =
+let cache_store ?model ?cache_tag t ~optimizer (p : Registry.problem) (o : Registry.outcome) =
   match (t.cache, o.Registry.plan) with
   | Some c, Some plan when Float.is_finite o.Registry.cost ->
       let m = Option.value ~default:t.model model in
       Fingerprint.compute t.scratch ~model_digest:(digest_for t m) p.Registry.catalog
         p.Registry.graph;
-      Plan_cache.store c t.scratch ~optimizer ~plan ~cost:o.Registry.cost
-        ~passes:o.Registry.passes ~final_threshold:o.Registry.final_threshold
+      Plan_cache.store c t.scratch ~optimizer:(tagged ?cache_tag optimizer) ~plan
+        ~cost:o.Registry.cost ~passes:o.Registry.passes
+        ~final_threshold:o.Registry.final_threshold
   | _ -> ()
 
 let hit_outcome ctr (h : Plan_cache.hit) =
@@ -166,7 +175,7 @@ let append_note extra (o : Registry.outcome) =
    when given, is a prebuilt ctx to run cold (unthresholded) passes
    with, letting batches share one ctx across queries. *)
 let run_entry t (entry : Registry.entry) ~optimizer ?interrupt ?threshold ?(multiway = false)
-    ?cold_ctx ~ctr problem =
+    ?cache_tag ?cold_ctx ~ctr problem =
   (* Multiway planning is real only for entries that advertise it; the
      flag reaches the cache key only then, so e.g. greedy lookups do not
      fragment across the two modes they cannot distinguish. *)
@@ -186,7 +195,10 @@ let run_entry t (entry : Registry.entry) ~optimizer ?interrupt ?threshold ?(mult
        optimum must never be replayed to a caller that cannot execute
        n-ary joins, and a binary optimum stored by a multiway=false run
        is not the hybrid space's optimum. *)
-    let cache_key = if mw then optimizer ^ "+mw" else optimizer in
+    let cache_key =
+      let base = tagged ?cache_tag optimizer in
+      if mw then base ^ "+mw" else base
+    in
     let hit =
       Obs.Metrics.time m_cache_lookup (fun () ->
           Fingerprint.compute t.scratch ~model_digest:t.digest problem.Registry.catalog
@@ -249,7 +261,7 @@ let run_entry t (entry : Registry.entry) ~optimizer ?interrupt ?threshold ?(mult
         | _ -> ());
         (match warm with Some (_, note) -> append_note note o | None -> o)
 
-let optimize ?(optimizer = "exact") ?interrupt ?threshold ?multiway t problem =
+let optimize ?(optimizer = "exact") ?interrupt ?threshold ?multiway ?cache_tag t problem =
   if t.closed then invalid_arg "Engine.optimize: session is closed";
   let entry = Registry.find_exn optimizer in
   let ctr = Arena.counters t.arena in
@@ -257,12 +269,12 @@ let optimize ?(optimizer = "exact") ?interrupt ?threshold ?multiway t problem =
   let o =
     Obs.span "engine.optimize" ~attrs:[ ("optimizer", optimizer) ] (fun () ->
         Obs.Metrics.time m_latency (fun () ->
-            run_entry t entry ~optimizer ?interrupt ?threshold ?multiway ~ctr problem))
+            run_entry t entry ~optimizer ?interrupt ?threshold ?multiway ?cache_tag ~ctr problem))
   in
   record_outcome t o;
   o
 
-let optimize_many ?(optimizer = "exact") ?interrupt ?multiway t problems =
+let optimize_many ?(optimizer = "exact") ?interrupt ?multiway ?cache_tag t problems =
   if t.closed then invalid_arg "Engine.optimize_many: session is closed";
   (* One registry lookup for the whole batch — per-query work is a
      counter reset, a fingerprint into the session scratch (cache
@@ -278,7 +290,7 @@ let optimize_many ?(optimizer = "exact") ?interrupt ?multiway t problems =
             Counters.reset ctr;
             let o =
               Obs.Metrics.time m_latency (fun () ->
-                  run_entry t entry ~optimizer ?interrupt ?multiway ~cold_ctx ~ctr p)
+                  run_entry t entry ~optimizer ?interrupt ?multiway ?cache_tag ~cold_ctx ~ctr p)
             in
             record_outcome t o;
             (* The table is a view of the arena's buffer, overwritten by the

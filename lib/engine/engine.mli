@@ -65,6 +65,7 @@ val optimize :
   ?interrupt:(unit -> bool) ->
   ?threshold:float ->
   ?multiway:bool ->
+  ?cache_tag:string ->
   t ->
   Registry.problem ->
   Registry.outcome
@@ -75,9 +76,14 @@ val optimize :
     under the decorated key [<optimizer>"+mw"], so the two plan spaces
     never serve each other's optima (and a hit carrying a
     [Plan.Multiway] node is additionally refused for multiway=false
-    callers).  The session's counters are reset first, so the outcome's
-    counters are per-query; the outcome's [table] aliases the arena
-    buffer and is only valid until the next call.  May raise
+    callers).  [cache_tag] partitions the plan cache the same way:
+    lookups and stores run under [<optimizer>"@"<tag>] (plus ["+mw"]
+    when both apply), so callers serving mutually-untrusting tenants
+    from one shared cache can guarantee one tenant's plans are never
+    replayed to another ([Blitz_serve] keys by tenant id).  The
+    session's counters are reset first, so the outcome's counters are
+    per-query; the outcome's [table] aliases the arena buffer and is
+    only valid until the next call.  May raise
     [Blitzsplit.Interrupted] (via [interrupt]) and whatever the entry
     itself raises on caps violations. *)
 
@@ -85,6 +91,7 @@ val optimize_many :
   ?optimizer:string ->
   ?interrupt:(unit -> bool) ->
   ?multiway:bool ->
+  ?cache_tag:string ->
   t ->
   Registry.problem Seq.t ->
   Registry.outcome list
@@ -111,16 +118,29 @@ val counters : t -> Counters.t
 
 val cache : t -> Plan_cache.t option
 
-val cache_find : ?model:Cost_model.t -> t -> optimizer:string -> Registry.problem -> Plan_cache.hit option
+val cache_find :
+  ?model:Cost_model.t ->
+  ?cache_tag:string ->
+  t ->
+  optimizer:string ->
+  Registry.problem ->
+  Plan_cache.hit option
 (** Consult the session's cache directly (no optimizer run): fingerprint
     the problem into the session scratch and look it up under the given
     optimizer name.  [None] when the session has no cache or on a miss.
     [model] defaults to the session model; pass it when dispatching
-    under a different cost model (the Guard driver's case).  Exposed for
+    under a different cost model (the Guard driver's case).
+    [cache_tag] decorates the key as in {!optimize}.  Exposed for
     budget-holding drivers that sequence registry entries themselves. *)
 
 val cache_store :
-  ?model:Cost_model.t -> t -> optimizer:string -> Registry.problem -> Registry.outcome -> unit
+  ?model:Cost_model.t ->
+  ?cache_tag:string ->
+  t ->
+  optimizer:string ->
+  Registry.problem ->
+  Registry.outcome ->
+  unit
 (** Record a completed outcome for the problem (recomputing the
     fingerprint, so it need not be the last one looked up).  No-ops
     without a cache, on plan-less outcomes, and on non-finite costs.

@@ -34,6 +34,8 @@ type problem = { catalog : Catalog.t; graph : Join_graph.t option }
     graph over the catalog. *)
 
 val problem : ?graph:Join_graph.t -> Catalog.t -> problem
+(** Smart constructor pairing a catalog with its (optional) join
+    graph. *)
 
 type ctx = {
   model : Cost_model.t;
@@ -144,7 +146,11 @@ val all : unit -> entry list
 (** In registration order. *)
 
 val names : unit -> string list
+(** Registered optimizer names, in registration order — the list
+    [find] accepts and the CLI's [blitz optimizers] dump prints. *)
+
 val find : string -> entry option
+(** Look an entry up by name; [None] for unregistered names. *)
 
 val find_exn : string -> entry
 (** Raises [Invalid_argument] with the list of known names. *)

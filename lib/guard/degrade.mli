@@ -47,6 +47,9 @@ type tier =
           Deadline-exempt, like greedy. *)
 
 val tier_name : tier -> string
+(** Stable lowercase identifier ([{!Estimate_free} ↦ "simpli-squared"])
+    — the name provenance rendering, serve responses and the CLI all
+    print, and the registry dispatches on. *)
 
 val default_cascade : tier list
 (** [Exact; Thresholded; Dpccp; Hybrid_windows; Ikkbz; Greedy;
@@ -65,16 +68,24 @@ type skip_reason =
   | Not_applicable of string
 
 val skip_message : skip_reason -> string
+(** One-line human rendering of a {!skip_reason}, as it appears in a
+    provenance trail (e.g. ["skipped (deadline expired)"] without the
+    prefix — {!pp_attempt} adds the framing). *)
 
 type failure =
   | Deadline  (** The cancellation probe fired mid-search. *)
   | No_finite_plan  (** The tier ran but produced no usable plan. *)
 
 val failure_message : failure -> string
+(** One-line human rendering of a {!failure}, same contract as
+    {!skip_message}. *)
 
 type status = Produced of float  (** Plan cost. *) | Aborted of failure | Skipped of skip_reason
+(** What one tier did: produced a plan (with its cost), started but
+    gave up, or was ruled out before running. *)
 
 type attempt = { tier : tier; status : status; elapsed_ms : float }
+(** One cascade step with the wall clock it consumed (0 for skips). *)
 
 type provenance = {
   winner : tier;
@@ -84,7 +95,11 @@ type provenance = {
 }
 
 val pp_attempt : Format.formatter -> attempt -> unit
+(** One line: tier name, outcome, elapsed milliseconds. *)
+
 val pp_provenance : Format.formatter -> provenance -> unit
+(** The full trail, one {!pp_attempt} line per attempt plus the winner
+    and total time — what the CLI prints under [--degrade]. *)
 
 val eligibility :
   ?arena:Arena.t ->

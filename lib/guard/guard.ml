@@ -42,21 +42,23 @@ let pp_error ppf e = Format.pp_print_string ppf (error_message e)
    bit-compatible with "exact", "thresholded" with "thresholded"). *)
 let cacheable_tiers = [ Degrade.Exact; Degrade.Thresholded ]
 
-let cache_lookup ~session ~repairs model catalog graph =
+let cache_lookup ~session ~repairs ?cache_tag model catalog graph =
   match session with
   | Some s when repairs = [] && Engine.cache s <> None ->
     let problem = Blitz_engine.Registry.problem ~graph catalog in
     let rec try_tiers = function
       | [] -> None
       | tier :: rest -> (
-        match Engine.cache_find ~model s ~optimizer:(Degrade.tier_name tier) problem with
+        match
+          Engine.cache_find ~model ?cache_tag s ~optimizer:(Degrade.tier_name tier) problem
+        with
         | Some hit -> Some (tier, hit)
         | None -> try_tiers rest)
     in
     try_tiers cacheable_tiers
   | _ -> None
 
-let cache_record ~session ~repairs model catalog graph (plan : Plan.t)
+let cache_record ~session ~repairs ?cache_tag model catalog graph (plan : Plan.t)
     (provenance : Degrade.provenance) =
   match session with
   | Some s
@@ -74,8 +76,8 @@ let cache_record ~session ~repairs model catalog graph (plan : Plan.t)
         note = None;
       }
     in
-    Engine.cache_store ~model s ~optimizer:(Degrade.tier_name provenance.Degrade.winner)
-      problem outcome
+    Engine.cache_store ~model ?cache_tag s
+      ~optimizer:(Degrade.tier_name provenance.Degrade.winner) problem outcome
   | _ -> ()
 
 (* All entry points funnel here.  The budget is (re-)armed exactly once,
@@ -83,7 +85,8 @@ let cache_record ~session ~repairs model catalog graph (plan : Plan.t)
    catch-all converts any escaped exception — there should be none, but
    a resilient driver does not get to assume that — into a typed error
    rather than unwinding through the caller. *)
-let drive ~budget ~cascade ~seed ~num_domains ~multiway ~session model catalog graph repairs =
+let drive ~budget ~cascade ~seed ~num_domains ~multiway ~session ?cache_tag model catalog graph
+    repairs =
   Budget.start budget;
   (* Fabricated cardinalities (Sanitize defaulted them) mean every
      cost-based tier would optimize placeholder numbers; unless the
@@ -95,7 +98,7 @@ let drive ~budget ~cascade ~seed ~num_domains ~multiway ~session model catalog g
     | None when Sanitize.fabricated_stats repairs -> Some Degrade.fabricated_cascade
     | None -> None
   in
-  match cache_lookup ~session ~repairs model catalog graph with
+  match cache_lookup ~session ~repairs ?cache_tag model catalog graph with
   | Some (tier, hit) ->
     let cost = hit.Blitz_engine.Engine.Plan_cache.cost in
     let provenance =
@@ -139,7 +142,7 @@ let drive ~budget ~cascade ~seed ~num_domains ~multiway ~session model catalog g
         model catalog graph
     with
     | Ok (plan, provenance) ->
-      cache_record ~session ~repairs model catalog graph plan provenance;
+      cache_record ~session ~repairs ?cache_tag model catalog graph plan provenance;
       Ok
         {
           plan;
@@ -153,20 +156,21 @@ let drive ~budget ~cascade ~seed ~num_domains ~multiway ~session model catalog g
     | Error attempts -> Error (No_tier_produced attempts)
     | exception exn -> Error (Internal (Printexc.to_string exn)))
 
-let optimize ?budget ?session ?cascade ?seed ?num_domains ?multiway model catalog graph =
+let optimize ?budget ?session ?cascade ?seed ?num_domains ?multiway ?cache_tag model catalog
+    graph =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   match Sanitize.check_pair catalog graph with
   | Error issues -> Error (Invalid_input issues)
   | Ok clean ->
-    drive ~budget ~cascade ~seed ~num_domains ~multiway ~session model clean.Sanitize.catalog
-      clean.Sanitize.graph clean.Sanitize.repairs
+    drive ~budget ~cascade ~seed ~num_domains ~multiway ~session ?cache_tag model
+      clean.Sanitize.catalog clean.Sanitize.graph clean.Sanitize.repairs
 
-let optimize_input ?budget ?session ?policy ?cascade ?seed ?num_domains ?multiway model
-    ~relations ~edges () =
+let optimize_input ?budget ?session ?policy ?cascade ?seed ?num_domains ?multiway ?cache_tag
+    model ~relations ~edges () =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   match Sanitize.check ?policy ~relations ~edges () with
   | Error issues -> Error (Invalid_input issues)
   | exception exn -> Error (Internal (Printexc.to_string exn))
   | Ok clean ->
-    drive ~budget ~cascade ~seed ~num_domains ~multiway ~session model clean.Sanitize.catalog
-      clean.Sanitize.graph clean.Sanitize.repairs
+    drive ~budget ~cascade ~seed ~num_domains ~multiway ~session ?cache_tag model
+      clean.Sanitize.catalog clean.Sanitize.graph clean.Sanitize.repairs

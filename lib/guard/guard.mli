@@ -55,6 +55,7 @@ val optimize :
   ?seed:int ->
   ?num_domains:int ->
   ?multiway:bool ->
+  ?cache_tag:string ->
   Cost_model.t ->
   Catalog.t ->
   Join_graph.t ->
@@ -71,7 +72,10 @@ val optimize :
     way to run many guarded queries without per-query allocation.
     [multiway] asks capable tiers for n-ary AGM-costed plans (see
     {!Degrade.optimize}); incapable tiers ignore it, so the cascade
-    stays valid end to end. *)
+    stays valid end to end.  [cache_tag] partitions the session cache
+    per caller (see [Blitz_engine.Engine.optimize]): the serving layer
+    passes the tenant id, so a shared cache never replays one tenant's
+    plan to another. *)
 
 val optimize_input :
   ?budget:Budget.t ->
@@ -81,6 +85,7 @@ val optimize_input :
   ?seed:int ->
   ?num_domains:int ->
   ?multiway:bool ->
+  ?cache_tag:string ->
   Cost_model.t ->
   relations:(string * float) list ->
   edges:(int * int * float) list ->

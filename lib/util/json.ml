@@ -69,3 +69,247 @@ let to_string ?(indent = false) v =
   let buf = Buffer.create 256 in
   emit buf ~indent ~level:0 v;
   Buffer.contents buf
+
+(* ---- parsing ----
+
+   A hand-rolled recursive-descent parser over the same RFC 8259 subset
+   the serializer emits (the serve wire protocol is the consumer).
+   Numbers with a '.', 'e' or 'E' become [Float]; plain integer tokens
+   become [Int] when they fit in an OCaml int and [Float] otherwise.
+   \uXXXX escapes are decoded to UTF-8, surrogate pairs included. *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail st fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st "expected %C, found %C" c c'
+  | None -> fail st "expected %C, found end of input" c
+
+let literal st word value =
+  let len = String.length word in
+  if st.pos + len <= String.length st.src && String.sub st.src st.pos len = word then begin
+    st.pos <- st.pos + len;
+    value
+  end
+  else fail st "invalid literal"
+
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex4 st =
+  if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let c = st.src.[st.pos] in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail st "invalid hex digit %C in \\u escape" c
+    in
+    v := (!v * 16) + d;
+    advance st
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | None -> fail st "unterminated escape"
+      | Some c ->
+        advance st;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let code = hex4 st in
+          (* A high surrogate must pair with a following \uXXXX low
+             surrogate; anything unpaired decodes as U+FFFD. *)
+          if code >= 0xD800 && code <= 0xDBFF then begin
+            if
+              st.pos + 2 <= String.length st.src
+              && st.src.[st.pos] = '\\'
+              && st.src.[st.pos + 1] = 'u'
+            then begin
+              st.pos <- st.pos + 2;
+              let low = hex4 st in
+              if low >= 0xDC00 && low <= 0xDFFF then
+                add_utf8 buf (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+              else add_utf8 buf 0xFFFD
+            end
+            else add_utf8 buf 0xFFFD
+          end
+          else if code >= 0xDC00 && code <= 0xDFFF then add_utf8 buf 0xFFFD
+          else add_utf8 buf code
+        | c -> fail st "invalid escape \\%C" c));
+      loop ()
+    | Some c when Char.code c < 0x20 -> fail st "unescaped control character in string"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  if peek st = Some '-' then advance st;
+  let digits () =
+    let seen = ref false in
+    let rec go () =
+      match peek st with
+      | Some ('0' .. '9') ->
+        seen := true;
+        advance st;
+        go ()
+      | _ -> ()
+    in
+    go ();
+    if not !seen then fail st "malformed number"
+  in
+  digits ();
+  (match peek st with
+  | Some '.' ->
+    is_float := true;
+    advance st;
+    digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    digits ()
+  | _ -> ());
+  let tok = String.sub st.src start (st.pos - start) in
+  if !is_float then Float (float_of_string tok)
+  else
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> Float (float_of_string tok)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (key, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members ()
+        | Some '}' -> advance st
+        | _ -> fail st "expected ',' or '}' in object"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          elements ()
+        | Some ']' -> advance st
+        | _ -> fail st "expected ',' or ']' in array"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st "unexpected character %C" c
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length s then
+      Error (Printf.sprintf "Json.of_string: trailing garbage at offset %d" st.pos)
+    else Ok v
+  | exception Parse_error msg -> Error ("Json.of_string: " ^ msg)
+
+(* ---- accessors (for protocol decoders) ---- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float_opt = function Int i -> Some (float_of_int i) | Float x -> Some x | _ -> None

@@ -18,3 +18,21 @@ type t =
 val to_string : ?indent:bool -> t -> string
 (** Serialize; [~indent:true] pretty-prints with two-space indentation
     (stable output, suitable for committed files and diffs). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (the serve wire protocol's decoder).  The whole
+    input must be consumed — trailing non-whitespace is an error.
+    Integer tokens become [Int] when they fit in an OCaml int ([Float]
+    otherwise); tokens with a fraction or exponent become [Float];
+    [\uXXXX] escapes decode to UTF-8 with surrogate pairs honored and
+    unpaired surrogates replaced by U+FFFD.  Errors carry the byte
+    offset of the defect. *)
+
+val member : string -> t -> t option
+(** [member key v] is the field named [key] when [v] is an [Obj] with
+    one; [None] otherwise (including on non-objects). *)
+
+val to_float_opt : t -> float option
+(** Numeric coercion: [Int] and [Float] both read as float — JSON does
+    not distinguish, so decoders should not either.  [None] for
+    non-numbers. *)

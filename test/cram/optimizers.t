@@ -1,0 +1,26 @@
+The optimizer registry's capability table, pinned.  ARCHITECTURE.md's
+optimizer inventory is written against this dump (and README's count
+quotes it), so documentation drift fails here instead of rotting:
+regenerate the docs from `blitz optimizers`, then promote.
+
+  $ blitz optimizers
+  name                   max_n exact cache tree  conn par  dexempt sfree mw 
+  exact                  24    yes   yes   -     -    yes  -       -     yes
+  thresholded            24    yes   yes   -     -    yes  -       -     yes
+  hybrid                 -     -     -     -     -    -    -       -     -  
+  ikkbz                  -     -     -     yes   -    -    -       -     -  
+  greedy                 -     -     -     -     -    -    yes     -     -  
+  simpli-squared         -     -     -     -     -    -    yes     yes   -  
+  dpsize                 24    yes   yes   -     -    -    -       -     -  
+  dpsize-no-products     24    -     -     -     yes  -    -       -     -  
+  leftdeep               24    -     -     -     -    -    -       -     -  
+  leftdeep-deferred      24    -     -     -     -    -    -       -     -  
+  iterative-improvement  -     -     -     -     -    -    -       -     -  
+  simulated-annealing    -     -     -     -     -    -    -       -     -  
+  random-probe           -     -     -     -     -    -    -       -     -  
+  volcano                24    yes   yes   -     -    -    -       -     -  
+  dpccp                  62    -     -     -     yes  -    -       -     yes
+  dpconv                 20    -     -     -     -    -    -       -     -  
+  bruteforce             10    yes   yes   -     -    -    -       -     -  
+  
+  17 optimizers registered

@@ -1,0 +1,39 @@
+The serving layer end to end, over a real socket: `blitz serve` on an
+ephemeral port, driven closed-loop by `blitz query`.  One worker keeps
+optimize responses in arrival order; --max-requests 3 makes teardown
+deterministic (the server exits after the third optimize/explain
+response, counting quota rejections).  Only the elapsed_ms field is
+wall-clock dependent, so only it is scrubbed.
+
+  $ blitz serve --port 0 --port-file port --workers 1 \
+  >   --tenants 'acme:burst=1,table-mb=64' --max-requests 3 > server.log 2>&1 &
+  $ for i in $(seq 150); do test -s port && break; sleep 0.1; done
+  $ scrub() { sed -E 's/"elapsed_ms":[0-9.e+-]+/"elapsed_ms":_/'; }
+
+The request mix: a health probe, a malformed line (typed parse_error,
+connection survives), an optimize for tenant acme (burst=1, so its
+second request is a typed quota_exhausted — not a hang, not a drop), a
+stats snapshot, and a generated-workload optimize for the default
+tenant, whose response carries the winning tier and full attempt
+provenance:
+
+  $ cat > requests << 'EOF'
+  > {"blitz":1,"id":1,"method":"health"}
+  > this is not json
+  > {"blitz":1,"id":2,"method":"optimize","tenant":"acme","params":{"relations":[["part",200],["supplier",10],["lineitem",6000]],"edges":[[0,2,0.005],[1,2,0.1]]}}
+  > {"blitz":1,"id":3,"method":"optimize","tenant":"acme","params":{"relations":[["part",200],["supplier",10],["lineitem",6000]],"edges":[[0,2,0.005],[1,2,0.1]]}}
+  > {"blitz":1,"id":4,"method":"stats"}
+  > {"blitz":1,"id":5,"method":"optimize","params":{"n":6,"topology":"star","mean_card":100}}
+  > EOF
+
+  $ blitz query --port $(cat port) < requests | scrub
+  {"blitz":1,"id":1,"ok":true,"result":{"status":"ok","protocol":1,"workers":1,"queue_depth":0,"tenants":["acme","default"]}}
+  {"blitz":1,"id":null,"ok":false,"error":{"code":"parse_error","message":"serve: Json.of_string: invalid literal at offset 0"}}
+  {"blitz":1,"id":2,"ok":true,"result":{"plan":"(part x (supplier x lineitem))","cost":2548.27272727,"tier":"exact","from_cache":false,"shed":false,"repairs":0,"attempts":[{"tier":"exact","status":"produced"}],"elapsed_ms":_}}
+  {"blitz":1,"id":3,"ok":false,"error":{"code":"quota_exhausted","message":"serve: tenant \"acme\" is over its request quota"}}
+  {"blitz":1,"id":4,"ok":true,"result":{"served":2,"queue_depth":0,"workers":1,"tenants":{"acme":{"served":1,"shed":0,"quota_rejected":1}},"cache":{"hits":0,"misses":2,"insertions":1,"entries":1,"bytes":418}}}
+  {"blitz":1,"id":5,"ok":true,"result":{"plan":"(R0 x (R1 x (R2 x (R3 x (R4 x R5)))))","cost":155.050505051,"tier":"exact","from_cache":false,"shed":false,"repairs":0,"attempts":[{"tier":"exact","status":"produced"}],"elapsed_ms":_}}
+  $ wait
+
+  $ sed -E 's/:[0-9]+ /:PORT /' server.log
+  serving on 127.0.0.1:PORT (1 worker(s), 2 tenant(s))

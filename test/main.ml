@@ -31,4 +31,5 @@ let () =
       ("sql", Test_sql.suite);
       ("obs", Test_obs.suite);
       ("robust", Test_robust.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,343 @@
+(* Blitz_serve: the wire codec, quota buckets, tenant parsing, and the
+   live server.
+
+   The codec tests pin the typed decode errors (a malformed line must
+   map to a machine-readable code, never an exception — QCheck feeds
+   the decoder garbage to prove totality).  The live-server tests drive
+   a real socket through the full stack: quota exhaustion answers with
+   a typed error instead of hanging, one tenant's cached plan is never
+   served to another, and a pipelined overload burst sheds through the
+   Degrade cascade — every response still carries a plan and a valid
+   provenance tier.
+
+   Sockets use a receive timeout, so a server bug fails the assertion
+   rather than hanging the suite. *)
+
+module Json = Blitz_util.Json
+module Protocol = Blitz_serve.Protocol
+module Quota = Blitz_serve.Quota
+module Tenant = Blitz_serve.Tenant
+module Server = Blitz_serve.Server
+module Engine = Blitz_engine.Engine
+module Registry = Blitz_engine.Registry
+module Plan_cache = Blitz_cache.Plan_cache
+module Degrade = Blitz_guard.Degrade
+
+(* ---- codec ---- *)
+
+let decode_ok line =
+  match Protocol.decode line with
+  | Ok env -> env
+  | Error rej -> Alcotest.failf "decode rejected %s: %s" line (Protocol.error_message rej.Protocol.error)
+
+let decode_err line =
+  match Protocol.decode line with
+  | Ok _ -> Alcotest.failf "decode accepted %s" line
+  | Error rej -> rej
+
+let test_decode_optimize () =
+  let env =
+    decode_ok
+      {|{"blitz":1,"id":7,"method":"optimize","tenant":"acme","params":{"relations":[["a",100],["b",10.5]],"edges":[[0,1,0.1]],"multiway":true}}|}
+  in
+  Alcotest.(check bool) "id echoed" true (env.Protocol.id = Json.Int 7);
+  Alcotest.(check (option string)) "tenant" (Some "acme") env.Protocol.tenant;
+  match env.Protocol.request with
+  | Protocol.Run { call = Protocol.Optimize; query = Protocol.Inline { relations; edges }; multiway }
+    ->
+    Alcotest.(check bool) "multiway" true multiway;
+    Alcotest.(check int) "relations" 2 (List.length relations);
+    Alcotest.(check bool) "cards" true (relations = [ ("a", 100.); ("b", 10.5) ]);
+    Alcotest.(check bool) "edges" true (edges = [ (0, 1, 0.1) ])
+  | _ -> Alcotest.fail "wrong request shape"
+
+let test_decode_generated () =
+  let env =
+    decode_ok {|{"blitz":1,"method":"explain","params":{"n":8,"topology":"star","mean_card":50}}|}
+  in
+  Alcotest.(check bool) "id defaults to null" true (env.Protocol.id = Json.Null);
+  match env.Protocol.request with
+  | Protocol.Run { call = Protocol.Explain; query = Protocol.Generated g; multiway = false } ->
+    Alcotest.(check int) "n" 8 g.n;
+    Alcotest.(check string) "topology" "star" g.topology;
+    Alcotest.(check (float 0.)) "mean_card" 50. g.mean_card;
+    Alcotest.(check (float 0.)) "variability" 0. g.variability
+  | _ -> Alcotest.fail "wrong request shape"
+
+let check_code line expected =
+  let rej = decode_err line in
+  Alcotest.(check string)
+    (Printf.sprintf "code for %s" line)
+    expected
+    (Protocol.error_code rej.Protocol.error)
+
+let test_decode_errors () =
+  check_code "not json" "parse_error";
+  check_code "[1,2,3]" "invalid_request";
+  check_code {|{"id":1,"method":"optimize"}|} "unsupported_version";
+  check_code {|{"blitz":2,"method":"optimize"}|} "unsupported_version";
+  check_code {|{"blitz":1,"method":"destroy"}|} "unknown_method";
+  check_code {|{"blitz":1,"method":"optimize"}|} "invalid_request";
+  check_code {|{"blitz":1,"method":"optimize","params":{"n":1}}|} "invalid_request";
+  check_code {|{"blitz":1,"method":"optimize","params":{"n":6,"topology":"moebius"}}|}
+    "invalid_request";
+  check_code {|{"blitz":1,"method":"optimize","params":{"relations":[["a"]]}}|} "invalid_request";
+  check_code {|{"blitz":1,"method":"optimize","tenant":7,"params":{"n":4}}|} "invalid_request";
+  (* The id survives into the rejection when the line parses as JSON. *)
+  let rej = decode_err {|{"blitz":9,"id":"q-1","method":"stats"}|} in
+  Alcotest.(check bool) "id recovered" true (rej.Protocol.rid = Json.String "q-1")
+
+let test_response_encoding () =
+  Alcotest.(check string) "ok shape"
+    {|{"blitz":1,"id":3,"ok":true,"result":{"x":1}}|}
+    (Protocol.ok_response ~id:(Json.Int 3) (Json.Obj [ ("x", Json.Int 1) ]));
+  let err = Protocol.error_response ~id:Json.Null ~code:"quota_exhausted" ~message:"m" in
+  match Json.of_string err with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    Alcotest.(check bool) "ok:false" true (Json.member "ok" v = Some (Json.Bool false));
+    let code = Option.bind (Json.member "error" v) (Json.member "code") in
+    Alcotest.(check bool) "code" true (code = Some (Json.String "quota_exhausted"))
+
+(* Totality: whatever bytes arrive, decode returns a typed result and
+   the rejection renders as valid JSON. *)
+let test_decode_total_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"decode is total on arbitrary bytes"
+       QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 200))
+       (fun s ->
+         match Protocol.decode s with
+         | Ok _ -> true
+         | Error rej -> (
+           ignore (Protocol.error_message rej.Protocol.error);
+           match Json.of_string (Protocol.rejected_response rej) with
+           | Ok _ -> true
+           | Error _ -> false)))
+
+(* Mutate a valid request at one random byte: still total, and never a
+   crash deeper in the stack. *)
+let test_decode_mutation_qcheck =
+  let base =
+    {|{"blitz":1,"id":1,"method":"optimize","params":{"relations":[["a",100],["b",10]],"edges":[[0,1,0.1]]}}|}
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"decode is total under single-byte mutation"
+       QCheck2.Gen.(pair (0 -- (String.length base - 1)) (char_range '\000' '\255'))
+       (fun (i, c) ->
+         let b = Bytes.of_string base in
+         Bytes.set b i c;
+         match Protocol.decode (Bytes.to_string b) with
+         | Ok _ -> true
+         | Error rej -> Result.is_ok (Json.of_string (Protocol.rejected_response rej))))
+
+(* ---- quota ---- *)
+
+let test_quota_bucket () =
+  let q = Quota.create ~burst:2 ~rps:1. () in
+  Alcotest.(check bool) "limited" true (Quota.is_limited q);
+  Alcotest.(check bool) "1st" true (Quota.try_acquire ~now:0. q);
+  Alcotest.(check bool) "2nd" true (Quota.try_acquire ~now:0. q);
+  Alcotest.(check bool) "3rd exhausted" false (Quota.try_acquire ~now:0. q);
+  Alcotest.(check bool) "refilled after 1s" true (Quota.try_acquire ~now:1. q);
+  Alcotest.(check bool) "but only one token" false (Quota.try_acquire ~now:1. q);
+  (* Refill clamps at burst. *)
+  Alcotest.(check (float 1e-9)) "clamped" 2. (Quota.remaining ~now:100. q);
+  (* Time moving backwards refills nothing. *)
+  let q2 = Quota.create ~burst:1 ~rps:1000. () in
+  Alcotest.(check bool) "spend" true (Quota.try_acquire ~now:50. q2);
+  Alcotest.(check bool) "backwards" false (Quota.try_acquire ~now:0. q2)
+
+let test_quota_zero_rps () =
+  let q = Quota.create ~burst:1 () in
+  Alcotest.(check bool) "burst spent" true (Quota.try_acquire ~now:0. q);
+  Alcotest.(check bool) "never refills" false (Quota.try_acquire ~now:1e9 q);
+  let u = Quota.unlimited () in
+  Alcotest.(check bool) "unlimited" true (Quota.try_acquire u);
+  Alcotest.(check (float 0.)) "unlimited remaining" infinity (Quota.remaining u)
+
+let test_tenant_spec () =
+  (match Tenant.parse_spec "acme:deadline-ms=50,table-mb=8,rps=100,burst=20;beta:rps=5" with
+  | Error e -> Alcotest.fail e
+  | Ok [ a; b ] ->
+    Alcotest.(check string) "name" "acme" a.Tenant.name;
+    Alcotest.(check bool) "deadline" true (a.Tenant.deadline_ms = Some 50.);
+    Alcotest.(check bool) "table" true (a.Tenant.max_table_bytes = Some (8 * 1024 * 1024));
+    Alcotest.(check bool) "rps" true (a.Tenant.rps = Some 100.);
+    Alcotest.(check bool) "burst" true (a.Tenant.burst = Some 20);
+    Alcotest.(check string) "second" "beta" b.Tenant.name;
+    Alcotest.(check bool) "beta deadline" true (b.Tenant.deadline_ms = None)
+  | Ok l -> Alcotest.failf "expected 2 tenants, got %d" (List.length l));
+  let bad s = match Tenant.parse_spec s with Ok _ -> Alcotest.failf "accepted %s" s | Error _ -> () in
+  bad "acme:rps=fast";
+  bad "acme:deadline-ms=-1";
+  bad "acme:frobs=1";
+  bad "a b:rps=1";
+  bad "acme;acme"
+
+(* ---- engine-level cache partitioning (the seam the server rides) ---- *)
+
+let test_cache_tag_partitions () =
+  let cache = Plan_cache.create () in
+  Engine.with_session ~cache (fun s ->
+      let problem =
+        Registry.problem
+          ~graph:(Blitz_graph.Join_graph.of_edges ~n:3 [ (0, 1, 0.1); (1, 2, 0.01) ])
+          (Blitz_catalog.Catalog.of_list [ ("a", 100.); ("b", 10.); ("c", 50.) ])
+      in
+      let _ = Engine.optimize ~cache_tag:"acme" s problem in
+      Alcotest.(check bool) "tagged hit" true
+        (Engine.cache_find ~cache_tag:"acme" s ~optimizer:"exact" problem <> None);
+      Alcotest.(check bool) "other tenant misses" true
+        (Engine.cache_find ~cache_tag:"beta" s ~optimizer:"exact" problem = None);
+      Alcotest.(check bool) "untagged misses" true
+        (Engine.cache_find s ~optimizer:"exact" problem = None))
+
+(* ---- live server ---- *)
+
+let with_server cfg f =
+  let t = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f (Server.port t))
+
+let connect port =
+  let ic, oc = Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) in
+  (* A stuck server should fail the test, not hang the suite. *)
+  Unix.setsockopt_float (Unix.descr_of_in_channel ic) Unix.SO_RCVTIMEO 60.;
+  (ic, oc)
+
+let close_client (ic, oc) =
+  (try Unix.shutdown (Unix.descr_of_out_channel oc) Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  close_in_noerr ic
+
+let rpc (ic, oc) line =
+  output_string oc (line ^ "\n");
+  flush oc;
+  match input_line ic with
+  | line -> Blitz_util.Err.get (Json.of_string line)
+  | exception End_of_file -> Alcotest.fail "server closed the connection early"
+
+let get_field path v =
+  let rec go v = function
+    | [] -> Some v
+    | k :: rest -> ( match Json.member k v with Some v -> go v rest | None -> None)
+  in
+  go v path
+
+let expect_bool msg path v expected =
+  match get_field path v with
+  | Some (Json.Bool b) -> Alcotest.(check bool) msg expected b
+  | other -> Alcotest.failf "%s: field %s is %s" msg (String.concat "." path)
+               (match other with Some j -> Json.to_string j | None -> "missing")
+
+let expect_string path v =
+  match get_field path v with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.failf "field %s missing or not a string" (String.concat "." path)
+
+let inline_query ~id ~tenant =
+  Printf.sprintf
+    {|{"blitz":1,"id":%d,"method":"optimize","tenant":"%s","params":{"relations":[["a",100],["b",10],["c",50],["d",25]],"edges":[[0,1,0.1],[1,2,0.01],[2,3,0.5]]}}|}
+    id tenant
+
+let test_quota_exhaustion_typed () =
+  let tenants = Blitz_util.Err.get (Tenant.parse_spec "acme:burst=1") in
+  with_server (Server.config ~port:0 ~tenants ()) (fun port ->
+      let c = connect port in
+      Fun.protect ~finally:(fun () -> close_client c) (fun () ->
+          let r1 = rpc c (inline_query ~id:1 ~tenant:"acme") in
+          expect_bool "first request served" [ "ok" ] r1 true;
+          let r2 = rpc c (inline_query ~id:2 ~tenant:"acme") in
+          expect_bool "second request rejected" [ "ok" ] r2 false;
+          Alcotest.(check string) "typed code" "quota_exhausted"
+            (expect_string [ "error"; "code" ] r2);
+          (* The default tenant's quota is untouched. *)
+          let r3 = rpc c (inline_query ~id:3 ~tenant:"default") in
+          expect_bool "other tenant unaffected" [ "ok" ] r3 true))
+
+let test_tenant_cache_isolation () =
+  let tenants = Blitz_util.Err.get (Tenant.parse_spec "acme;beta") in
+  with_server (Server.config ~port:0 ~tenants ()) (fun port ->
+      let c = connect port in
+      Fun.protect ~finally:(fun () -> close_client c) (fun () ->
+          let r1 = rpc c (inline_query ~id:1 ~tenant:"acme") in
+          expect_bool "cold" [ "result"; "from_cache" ] r1 false;
+          let r2 = rpc c (inline_query ~id:2 ~tenant:"acme") in
+          expect_bool "same tenant warm" [ "result"; "from_cache" ] r2 true;
+          (* The very same query from another tenant must re-optimize:
+             the shared cache is partitioned by the tenant tag. *)
+          let r3 = rpc c (inline_query ~id:3 ~tenant:"beta") in
+          expect_bool "other tenant cold" [ "result"; "from_cache" ] r3 false;
+          Alcotest.(check string) "same plan, own entry"
+            (expect_string [ "result"; "plan" ] r1)
+            (expect_string [ "result"; "plan" ] r3)))
+
+let valid_tiers =
+  [ "exact"; "thresholded"; "dpccp"; "hybrid"; "ikkbz"; "greedy"; "simpli-squared" ]
+
+let test_overload_sheds_with_provenance () =
+  (* One worker, shedding from depth 1: a pipelined burst must drain
+     through the cascade — every response ok, every tier valid, no
+     request dropped or hung. *)
+  let burst = 8 in
+  with_server (Server.config ~port:0 ~workers:1 ~shed_queue:1 ~shed_deadline_ms:2. ()) (fun port ->
+      let ((ic, oc) as c) = connect port in
+      Fun.protect ~finally:(fun () -> close_client c) (fun () ->
+          for i = 1 to burst do
+            output_string oc
+              (Printf.sprintf
+                 {|{"blitz":1,"id":%d,"method":"optimize","params":{"n":11,"topology":"clique"}}|}
+                 i);
+            output_string oc "\n"
+          done;
+          flush oc;
+          let sheds = ref 0 in
+          for i = 1 to burst do
+            match input_line ic with
+            | exception End_of_file -> Alcotest.failf "response %d never arrived" i
+            | line ->
+              let v = Blitz_util.Err.get (Json.of_string line) in
+              expect_bool (Printf.sprintf "response %d ok" i) [ "ok" ] v true;
+              let tier = expect_string [ "result"; "tier" ] v in
+              Alcotest.(check bool)
+                (Printf.sprintf "response %d tier %s valid" i tier)
+                true (List.mem tier valid_tiers);
+              (match get_field [ "result"; "shed" ] v with
+              | Some (Json.Bool true) -> incr sheds
+              | _ -> ())
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "burst shed through the cascade (%d/%d)" !sheds burst)
+            true (!sheds >= 1)))
+
+let test_malformed_line_keeps_connection () =
+  with_server (Server.config ~port:0 ()) (fun port ->
+      let c = connect port in
+      Fun.protect ~finally:(fun () -> close_client c) (fun () ->
+          let r1 = rpc c "this is not json" in
+          expect_bool "rejected" [ "ok" ] r1 false;
+          Alcotest.(check string) "parse_error" "parse_error" (expect_string [ "error"; "code" ] r1);
+          (* The framing resynchronizes on the newline: the connection
+             still serves well-formed requests. *)
+          let r2 = rpc c {|{"blitz":1,"id":2,"method":"health"}|} in
+          expect_bool "healthy afterwards" [ "ok" ] r2 true;
+          Alcotest.(check string) "status ok" "ok" (expect_string [ "result"; "status" ] r2)))
+
+let suite =
+  [
+    Alcotest.test_case "decode: optimize with inline stats" `Quick test_decode_optimize;
+    Alcotest.test_case "decode: generated workload defaults" `Quick test_decode_generated;
+    Alcotest.test_case "decode: typed errors and codes" `Quick test_decode_errors;
+    Alcotest.test_case "encode: response shapes" `Quick test_response_encoding;
+    test_decode_total_qcheck;
+    test_decode_mutation_qcheck;
+    Alcotest.test_case "quota: token bucket refill" `Quick test_quota_bucket;
+    Alcotest.test_case "quota: zero rps never refills" `Quick test_quota_zero_rps;
+    Alcotest.test_case "tenant: spec parsing" `Quick test_tenant_spec;
+    Alcotest.test_case "cache: tenant tag partitions entries" `Quick test_cache_tag_partitions;
+    Alcotest.test_case "server: quota exhaustion is a typed error" `Quick
+      test_quota_exhaustion_typed;
+    Alcotest.test_case "server: tenant cache isolation" `Quick test_tenant_cache_isolation;
+    Alcotest.test_case "server: overload sheds with provenance" `Quick
+      test_overload_sheds_with_provenance;
+    Alcotest.test_case "server: malformed line keeps the connection" `Quick
+      test_malformed_line_keeps_connection;
+  ]
