@@ -851,6 +851,23 @@ let explain_cmd =
       Printf.printf "\nsplit-loop counters (this run):\n";
       Format.printf "  @[<v>%a@]@." Counters.pp c
     | Some _ | None -> ());
+    (* Which monomorphized split kernel the model dispatched to, with the
+       measured rate when a blitzsplit pass fed the per-iteration
+       histogram (dpccp-only runs have the kernel but no rate). *)
+    (match outcome.Registry.counters with
+    | Some c when c.Counters.loop_iters > 0 ->
+      let h = Blitz_obs.Perf.split_loop_ns_per_iter in
+      let passes = Obs.Metrics.histogram_count h in
+      let rate =
+        if passes > 0 then
+          Printf.sprintf ", ~%.1f ns/split over %d pass%s"
+            (Obs.Metrics.histogram_sum h /. float_of_int passes)
+            passes
+            (if passes = 1 then "" else "es")
+        else ""
+      in
+      Printf.printf "\nkernel:     %s%s\n" (Blitz_core.Split_loop.variant model) rate
+    | Some _ | None -> ());
     (* The run's metric deltas: counters and gauges are deterministic
        for a given query; histograms are shown as observation counts
        only (sums and buckets are timing-dependent — they go to

@@ -9,6 +9,17 @@
     the successor trick and nested-[if] pruning (Sections 4.2, 6.2) —
     is identical and lives here.
 
+    {!find_best_split} dispatches once per subset on
+    {!Blitz_cost.Cost_model.kind} to a monomorphized loop body: the
+    three paper models run with their [kappa''] arithmetic inlined (no
+    closure call, no float boxing — the loop allocates nothing), and the
+    kernels that need operand cardinalities read the interleaved
+    [(cost, card)] pair column of {!Dp_table} so each iteration touches
+    one cache line per operand.  [Opaque] models fall back to a
+    closure-calling body.  All kernels produce bit-identical costs,
+    [best_lhs] links and counters to the pre-refactor {!Reference}
+    kernel, which is kept for differential tests and benchmarks.
+
     All kernels use unchecked array accesses internally: callers must
     pass subset indices in [(0, 2^n)] against a table created for [n]
     relations (the enumeration loops guarantee this by construction). *)
@@ -21,6 +32,20 @@ val find_best_split :
     (cost [infinity], best_lhs 0) when no split stays below it.  Writes
     only to this subset's own slots, so concurrent calls on distinct
     subsets of the same rank are race-free (all reads hit lower ranks). *)
+
+val variant : Blitz_cost.Cost_model.t -> string
+(** Which monomorphized loop body {!find_best_split} runs for the model:
+    ["zero"], ["sum-aux"], ["dnl-paired"] or ["general"].  Diagnostic
+    (e.g. the [blitz explain] kernel summary line). *)
+
+(** The pre-refactor split kernel, retained verbatim (modulo mirroring
+    its cost store into the pair column) as the baseline for
+    differential tests and for the [bench split] speedup gate.  Same
+    contract as the top-level {!find_best_split}. *)
+module Reference : sig
+  val find_best_split :
+    Dp_table.t -> Blitz_cost.Cost_model.t -> Counters.t -> threshold:float -> int -> unit
+end
 
 val compute_properties_join :
   Dp_table.t -> Blitz_cost.Cost_model.t -> Blitz_graph.Join_graph.t -> int -> unit

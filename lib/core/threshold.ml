@@ -65,7 +65,7 @@ let drive ?counters ?growth ?max_passes ~threshold run =
   { result; passes; final_threshold }
 
 (* Re-optimization passes reuse one table through an arena: without one a
-   failed pass would throw away (and a retry reallocate) 5*8*2^n bytes.
+   failed pass would throw away (and a retry reallocate) 7*8*2^n bytes.
    Callers that hold a session arena pass it in; otherwise the driver
    makes a private one so the multi-pass sequence still shares a table. *)
 let private_arena = function Some a -> a | None -> Arena.create ()

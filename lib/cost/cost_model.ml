@@ -1,9 +1,16 @@
+type kind =
+  | Paper_naive
+  | Paper_sort_merge
+  | Paper_dnl of { k : float; inner_coeff : float }
+  | Opaque
+
 type t = {
   name : string;
   aux : float -> float;
   k_prime : float -> float;
   k_dprime : out:float -> lcard:float -> rcard:float -> laux:float -> raux:float -> float;
   dprime_is_zero : bool;
+  kind : kind;
 }
 
 let identity_aux (c : float) = c
@@ -15,6 +22,7 @@ let naive =
     k_prime = (fun out -> out);
     k_dprime = (fun ~out:_ ~lcard:_ ~rcard:_ ~laux:_ ~raux:_ -> 0.0);
     dprime_is_zero = true;
+    kind = Paper_naive;
   }
 
 (* c * (1 + log c), guarded so tiny fractional intermediate cardinalities
@@ -28,6 +36,7 @@ let sort_merge =
     k_prime = (fun _out -> 0.0);
     k_dprime = (fun ~out:_ ~lcard:_ ~rcard:_ ~laux ~raux -> laux +. raux);
     dprime_is_zero = false;
+    kind = Paper_sort_merge;
   }
 
 let disk_nested_loops ?(blocking_factor = 10.0) ?(memory_blocks = 100.0) () =
@@ -43,6 +52,10 @@ let disk_nested_loops ?(blocking_factor = 10.0) ?(memory_blocks = 100.0) () =
       (fun ~out:_ ~lcard ~rcard ~laux:_ ~raux:_ ->
         (lcard *. rcard *. inner_coeff) +. (Float.min lcard rcard /. k));
     dprime_is_zero = false;
+    (* The payload repeats the closure's captures so the specialized
+       split kernel computes bit-identical terms (same [inner_coeff]
+       float, same division by [k]). *)
+    kind = Paper_dnl { k; inner_coeff };
   }
 
 let kdnl = disk_nested_loops ()
@@ -60,6 +73,7 @@ let min_of a b =
       (fun ~out ~lcard ~rcard ~laux:_ ~raux:_ ->
         Float.min (kappa a ~out ~lcard ~rcard) (kappa b ~out ~lcard ~rcard));
     dprime_is_zero = false;
+    kind = Opaque;
   }
 
 let all_paper = [ naive; sort_merge; kdnl ]

@@ -25,6 +25,23 @@
     A fourth combinator, {!min_of}, models the availability of multiple
     join algorithms (Section 6.5): [kappa = min(kappa_a, kappa_b)]. *)
 
+type kind =
+  | Paper_naive  (** [kappa' = out], [kappa'' = 0]. *)
+  | Paper_sort_merge  (** [kappa' = 0], [kappa'' = laux + raux]. *)
+  | Paper_dnl of { k : float; inner_coeff : float }
+      (** [kappa' = 2 out / k],
+          [kappa'' = lcard * rcard * inner_coeff + min(lcard, rcard) / k],
+          with [inner_coeff = 1 / (k^2 (m - 1))] precomputed — the exact
+          floats the record's closures capture, so a kernel inlining
+          these expressions is bit-identical to calling the closures. *)
+  | Opaque
+      (** Anything else ({!min_of}, user models): kernels must go through
+          the [k_prime]/[k_dprime] closures. *)
+(** Which known shape the model's [kappa'] and [kappa''] have.  The split
+    loop dispatches on this once per subset to run a monomorphized loop
+    body with the arithmetic inlined (no closure call, no per-iteration
+    float boxing); [Opaque] falls back to the closure-calling loop. *)
+
 type t = {
   name : string;  (** e.g. ["k0"], ["ksm"], ["kdnl"]. *)
   aux : float -> float;
@@ -39,6 +56,9 @@ type t = {
   dprime_is_zero : bool;
       (** True when [kappa''] is identically zero (the naive model): the
           optimizer may then skip its evaluation tier entirely. *)
+  kind : kind;
+      (** The specialization tag; must agree with the closures (the
+          kernels trust it for bit-identical monomorphized arithmetic). *)
 }
 
 val naive : t

@@ -16,6 +16,11 @@ let split_loop_ns_per_subset =
     ~help:"Wall-clock nanoseconds per subset processed by the blitzsplit DP loop"
     "blitz_split_loop_ns_per_subset"
 
+let split_loop_ns_per_iter =
+  Metrics.histogram ~buckets:ns_buckets
+    ~help:"Wall-clock nanoseconds per split-loop iteration of the blitzsplit DP loop"
+    "blitz_split_loop_ns_per_iter"
+
 let dpccp_ns_per_pair =
   Metrics.histogram ~buckets:ns_buckets
     ~help:"Wall-clock nanoseconds per csg-cmp pair folded by the dpccp DP loop"

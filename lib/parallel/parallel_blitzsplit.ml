@@ -193,13 +193,34 @@ let run ?pool ~num_domains ?(min_parallel_n = default_crossover_n) ~graph_opt ?a
   | _ ->
     let ctr = match counters with Some c -> c | None -> Counters.create () in
     ctr.Counters.passes <- ctr.Counters.passes + 1;
-    let table =
+    let dp_pass () =
       match pool with
       | Some pool ->
         parallel_run pool ~graph_opt ~arena ~ctr ~threshold ~interrupt model catalog graph
       | None ->
         Pool.with_pool ~num_domains (fun pool ->
             parallel_run pool ~graph_opt ~arena ~ctr ~threshold ~interrupt model catalog graph)
+    in
+    let table =
+      (* Feed the same rate instruments as the sequential driver (the
+         per-domain counters are merged into [ctr] before parallel_run
+         returns, including on the interrupt path).  Rates here are
+         aggregate wall time over aggregate events — i.e. they improve
+         with parallelism, deliberately: the instrument answers "how
+         fast does a pass chew through the lattice", not "how fast is
+         one core". *)
+      if not (Blitz_obs.Metrics.enabled ()) then dp_pass ()
+      else begin
+        let subs0 = ctr.Counters.subsets and iters0 = ctr.Counters.loop_iters in
+        let t0 = Blitz_obs.Perf.now_s () in
+        let table = dp_pass () in
+        let elapsed_s = Blitz_obs.Perf.now_s () -. t0 in
+        Blitz_obs.Perf.observe_rate Blitz_obs.Perf.split_loop_ns_per_subset ~elapsed_s
+          ~events:(ctr.Counters.subsets - subs0);
+        Blitz_obs.Perf.observe_rate Blitz_obs.Perf.split_loop_ns_per_iter ~elapsed_s
+          ~events:(ctr.Counters.loop_iters - iters0);
+        table
+      end
     in
     (* The rank-parallel driver never plans multiway nodes (the engine
        falls back to the sequential optimizer when both are requested). *)

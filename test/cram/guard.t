@@ -43,9 +43,9 @@ tiers before any allocation; the hybrid's windowed search takes over:
   cost:       751.767 (not guaranteed optimal)
   tier:       hybrid
   provenance:
-    exact: skipped (DP table needs 10485760 B, ceiling is 1048576 B)
-    thresholded: skipped (DP table needs 10485760 B, ceiling is 1048576 B)
-    dpccp: skipped (DP table needs 10485760 B, ceiling is 1048576 B)
+    exact: skipped (DP table needs 14680064 B, ceiling is 1048576 B)
+    thresholded: skipped (DP table needs 14680064 B, ceiling is 1048576 B)
+    dpccp: skipped (DP table needs 14680064 B, ceiling is 1048576 B)
     hybrid: produced plan (cost 751.767) in Xms
 
 Nonsense budgets are rejected up front:

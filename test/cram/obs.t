@@ -33,7 +33,7 @@ same thresholded query records the registry dispatch and both passes:
 explain prints the plan tree with per-subset cardinality and cumulative
 cost, the split-loop counters, and the counter/gauge deltas of the run:
 
-  $ blitz explain -n 4 --topology star --mean-card 100 --variability 0 --model k0 | grep -v '^time:'
+  $ blitz explain -n 4 --topology star --mean-card 100 --variability 0 --model k0 | grep -v '^time:' | sed 's/^kernel:     \(.*\), ~[0-9.]* ns\/split over \([0-9]* pass\(es\)\?\)$/kernel:     \1, ~N ns\/split over \2/'
   query:      n=4 star k0 mu=100 v=0.00
   model:      k0
   optimizer:  exact (exact)
@@ -59,14 +59,17 @@ cost, the split-loop counters, and the counter/gauge deltas of the run:
     infeasible subsets:  0
     passes:              1
   
+  kernel:     zero, ~N ns/split over 1 pass
+  
   metrics (this run):
     blitz_arena_acquires 1
     blitz_arena_grows 1
-    blitz_arena_resident_bytes 640
+    blitz_arena_resident_bytes 896
     blitz_engine_optimize_seconds count=1
     blitz_engine_plan_cost count=1
     blitz_engine_queries_total 1
     blitz_registry_calls_total{optimizer=exact} 1
+    blitz_split_loop_ns_per_iter count=1
     blitz_split_loop_ns_per_subset count=1
 
 explain rejects optimizers the query is not eligible for:

@@ -13,6 +13,7 @@ let () =
       ("hypergraph", Test_hypergraph.suite);
       ("multiway", Test_multiway.suite);
       ("differential", Test_differential.suite);
+      ("split-kernel", Test_split_kernel.suite);
       ("core-misc", Test_core_misc.suite);
       ("threshold", Test_threshold.suite);
       ("parallel", Test_parallel.suite);
